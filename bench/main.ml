@@ -1,0 +1,60 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) plus the DESIGN.md ablations.
+
+   Usage:
+     dune exec bench/main.exe                    # all sections
+     dune exec bench/main.exe -- --only fig3,table5
+     dune exec bench/main.exe -- --quick         # fast pass
+     dune exec bench/main.exe -- --scale 0.5     # smaller datasets
+     dune exec bench/main.exe -- --bechamel      # also run microbenches *)
+
+let () =
+  let only = ref "" in
+  let quick = ref false in
+  let scale = ref 1.0 in
+  let seed = ref 1 in
+  let bechamel = ref false in
+  let spec =
+    [
+      ("--only", Arg.Set_string only,
+       "SECTIONS comma-separated subset (table2,fig3,fig4,fig5,table3,table4,\
+        table5,ablation_ordering,ablation_lemmas,ablation_heuristic)");
+      ("--quick", Arg.Set quick, " reduced repetitions and budgets");
+      ("--scale", Arg.Set_float scale, "FLOAT dataset scale factor (default 1.0)");
+      ("--seed", Arg.Set_int seed, "INT master seed (default 1)");
+      ("--bechamel", Arg.Set bechamel, " also run the bechamel microbenchmarks");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "netrel benchmark harness";
+  let cfg =
+    { Sections.scale = !scale; Sections.quick = !quick; Sections.seed = !seed }
+  in
+  let wanted =
+    if !only = "" then List.map fst Sections.all_sections
+    else String.split_on_char ',' !only |> List.map String.trim
+  in
+  Printf.printf
+    "netrel benchmark harness - reproducing Sasaki et al., EDBT 2019\n\
+     (scale=%.2f%s, seed=%d; dataset substitutions documented in DESIGN.md)\n"
+    !scale
+    (if !quick then ", quick" else "")
+    !seed;
+  let total_t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name Sections.all_sections with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f cfg;
+        Printf.printf "[section %s: %s]\n%!" name
+          (Relstats.format_seconds (Unix.gettimeofday () -. t0))
+      | None ->
+        Printf.eprintf "unknown section %S; known: %s\n" name
+          (String.concat ", " (List.map fst Sections.all_sections));
+        exit 2)
+    wanted;
+  if !bechamel then Micro.run !seed;
+  Printf.printf "\nTotal: %s\n"
+    (Relstats.format_seconds (Unix.gettimeofday () -. total_t0))

@@ -1,0 +1,413 @@
+(* netrel: command-line front end.
+
+   Subcommands:
+     estimate    approximate / exact network reliability of a graph
+     stats       dataset statistics (Table 2 columns)
+     preprocess  show the extension technique's reduction
+     gen         emit a built-in synthetic dataset as an edge-list file *)
+
+open Cmdliner
+module D = Workload.Datasets
+module S = Netrel.S2bdd
+module R = Netrel.Reliability
+module P = Preprocess.Pipeline
+
+(* ---- graph sources ---- *)
+
+let dataset_by_name name ~seed ~scale =
+  match String.lowercase_ascii name with
+  | "karate" -> Some (D.karate ~seed ())
+  | "am-rv" | "amrv" | "am_rv" -> Some (D.am_rv ~seed ())
+  | "dblp1" -> Some (D.dblp1 ~seed ~scale ())
+  | "dblp2" -> Some (D.dblp2 ~seed ~scale ())
+  | "tokyo" -> Some (D.tokyo ~seed ~scale ())
+  | "nyc" -> Some (D.nyc ~seed ~scale ())
+  | "hit-d" | "hitd" | "hit_direct" | "hit-direct" -> Some (D.hit_direct ~seed ~scale ())
+  | _ -> None
+
+let dataset_names = "karate, am-rv, dblp1, dblp2, tokyo, nyc, hit-d"
+
+let load_graph ~file ~dataset ~seed ~scale =
+  match (file, dataset) with
+  | Some path, None -> Ok (Ugraph.of_file path, Filename.basename path)
+  | None, Some name -> (
+    match dataset_by_name name ~seed ~scale with
+    | Some d -> Ok (d.D.graph, d.D.abbr)
+    | None ->
+      Error (Printf.sprintf "unknown dataset %S (known: %s)" name dataset_names))
+  | Some _, Some _ -> Error "--graph and --dataset are mutually exclusive"
+  | None, None -> Error "one of --graph FILE or --dataset NAME is required"
+
+(* ---- shared options ---- *)
+
+let graph_file =
+  let doc = "Read the uncertain graph from $(docv) (edge-list format: first \
+             data line is the vertex count, then `u v p` lines)." in
+  Arg.(value & opt (some file) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+
+let dataset_arg =
+  let doc = Printf.sprintf "Use a built-in synthetic dataset: %s." dataset_names in
+  Arg.(value & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let verbose_arg =
+  let doc = "Log S2BDD construction progress to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level ~all:true (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let seed_arg =
+  let doc = "Master random seed (graphs, terminals and sampling are all \
+             deterministic in it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor for built-in datasets (1.0 is the library default, \
+             already ~10-20x below the paper's sizes)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FLOAT" ~doc)
+
+let terminals_arg =
+  let doc = "Comma-separated terminal vertex ids, e.g. $(b,0,5,9)." in
+  Arg.(value & opt (some string) None & info [ "t"; "terminals" ] ~docv:"IDS" ~doc)
+
+let k_arg =
+  let doc = "Pick $(docv) terminals uniformly at random instead of \
+             --terminals." in
+  Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc)
+
+let parse_terminals g ~terminals ~k ~seed =
+  match (terminals, k) with
+  | Some s, None -> (
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map (fun x -> int_of_string (String.trim x)))
+    with Failure _ -> Error "could not parse --terminals (expected e.g. 0,5,9)")
+  | None, Some k -> Ok (Workload.Generators.random_terminals ~seed g ~k)
+  | Some _, Some _ -> Error "--terminals and -k are mutually exclusive"
+  | None, None -> Error "one of --terminals IDS or -k K is required"
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    Printf.eprintf "netrel: %s\n" msg;
+    exit 2
+
+(* Turn library precondition failures into clean CLI errors. *)
+let guarded f =
+  try f ()
+  with Invalid_argument msg | Failure msg ->
+    Printf.eprintf "netrel: %s\n" msg;
+    exit 2
+
+(* ---- estimate ---- *)
+
+type method_ = Pro | Sampling_mc | Sampling_ht | Bdd | Brute
+
+let method_conv =
+  let parse = function
+    | "pro" -> Ok Pro
+    | "sampling-mc" | "mc" -> Ok Sampling_mc
+    | "sampling-ht" | "ht" -> Ok Sampling_ht
+    | "bdd" -> Ok Bdd
+    | "brute" -> Ok Brute
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  Arg.conv (parse, fun fmt m ->
+      Format.pp_print_string fmt
+        (match m with
+        | Pro -> "pro" | Sampling_mc -> "sampling-mc" | Sampling_ht -> "sampling-ht"
+        | Bdd -> "bdd" | Brute -> "brute"))
+
+let estimate_cmd =
+  let samples =
+    let doc = "Plain-sampling budget $(docv) to match (Theorem 1 reduces it)." in
+    Arg.(value & opt int 10_000 & info [ "s"; "samples" ] ~docv:"S" ~doc)
+  in
+  let width =
+    let doc = "Maximum S2BDD layer width $(docv)." in
+    Arg.(value & opt int 10_000 & info [ "w"; "width" ] ~docv:"W" ~doc)
+  in
+  let ht =
+    let doc = "Use the Horvitz-Thompson estimator instead of Monte Carlo." in
+    Arg.(value & flag & info [ "ht" ] ~doc)
+  in
+  let no_ext =
+    let doc = "Disable the extension technique (prune/decompose/transform)." in
+    Arg.(value & flag & info [ "no-extension" ] ~doc)
+  in
+  let method_ =
+    let doc = "Computation method: $(b,pro) (the paper's approach, default), \
+               $(b,sampling-mc), $(b,sampling-ht), $(b,bdd) (exact baseline), \
+               $(b,brute) (exhaustive, tiny graphs only)." in
+    Arg.(value & opt method_conv Pro & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ = guarded @@ fun () ->
+    setup_logs verbose;
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
+    (try Ugraph.validate_terminals g ts
+     with Invalid_argument msg -> or_die (Error msg));
+    Printf.printf "graph %s: %s\nterminals: [%s]\n" name
+      (Format.asprintf "%a" Ugraph.pp_stats g)
+      (String.concat ", " (List.map string_of_int ts));
+    match method_ with
+    | Pro ->
+      let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
+      let config = { S.default_config with S.samples = samples; S.width = width;
+                     S.estimator; S.seed = seed } in
+      let rep, dt =
+        Relstats.time (fun () ->
+            R.estimate ~config ~extension:(not no_ext) g ~terminals:ts)
+      in
+      Printf.printf "R = %.10g%s\nbounds = [%.10g, %.10g]\n" rep.R.value
+        (if rep.R.exact then "  (exact)" else "")
+        rep.R.lower rep.R.upper;
+      Printf.printf "budget: s = %d -> s' = %d, %d descents drawn\n"
+        rep.R.s_given rep.R.s_reduced rep.R.samples_drawn;
+      Printf.printf "time: %s\n" (Relstats.format_seconds dt)
+    | Sampling_mc | Sampling_ht ->
+      let f = if method_ = Sampling_mc then Mcsampling.monte_carlo
+              else Mcsampling.horvitz_thompson in
+      let est, dt =
+        Relstats.time (fun () -> f ~seed g ~terminals:ts ~samples)
+      in
+      Printf.printf "R = %.10g  (%d samples, %d hits)\ntime: %s\n"
+        est.Mcsampling.value est.Mcsampling.samples_used est.Mcsampling.hits
+        (Relstats.format_seconds dt)
+    | Bdd -> (
+      let res, dt =
+        Relstats.time (fun () ->
+            R.exact ~extension:(not no_ext) g ~terminals:ts)
+      in
+      match res with
+      | Ok r -> Printf.printf "R = %.10g  (exact)\ntime: %s\n" r
+                  (Relstats.format_seconds dt)
+      | Error (`Node_budget_exceeded n) ->
+        Printf.printf "DNF: BDD node budget exceeded at %d nodes (%s)\n" n
+          (Relstats.format_seconds dt))
+    | Brute ->
+      let r, dt =
+        Relstats.time (fun () -> Bddbase.Bruteforce.reliability g ~terminals:ts)
+      in
+      Printf.printf "R = %.10g  (exhaustive over 2^%d possible graphs)\ntime: %s\n"
+        r (Ugraph.n_edges g) (Relstats.format_seconds dt)
+  in
+  let doc = "Compute the network reliability of terminals in an uncertain graph" in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
+          $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run file dataset seed scale = guarded @@ fun () ->
+    match (file, dataset) with
+    | None, None ->
+      print_endline D.table2_header;
+      List.iter (fun d -> print_endline (D.table2_row d)) (D.all ~seed ~scale ())
+    | _ ->
+      let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+      Printf.printf "%s: %s\n" name (Format.asprintf "%a" Ugraph.pp_stats g);
+      let bridges = Graphalgo.Bridges.bridge_eids g in
+      let _, comps = Graphalgo.Connectivity.components g in
+      Printf.printf "connected components: %d, bridges: %d\n" comps
+        (List.length bridges)
+  in
+  let doc = "Print dataset statistics (all built-ins when no source is given)" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg)
+
+(* ---- preprocess ---- *)
+
+let preprocess_cmd =
+  let run file dataset seed scale terminals k = guarded @@ fun () ->
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
+    Printf.printf "graph %s: %s\n" name (Format.asprintf "%a" Ugraph.pp_stats g);
+    match P.run g ~terminals:ts with
+    | P.Trivial r -> Printf.printf "resolved outright: R = %s\n" (Xprob.to_string r)
+    | P.Reduced { pb; subproblems; stats } ->
+      Printf.printf
+        "pruned: %d -> %d vertices, %d -> %d edges\n\
+         decomposed at %d bridges (pb = %s) into %d subproblem(s)\n\
+         transformed to %d edges total (reduction ratio %.3f, %d rounds)\n"
+        stats.P.original_vertices stats.P.pruned_vertices stats.P.original_edges
+        stats.P.pruned_edges stats.P.n_bridges (Xprob.to_string pb)
+        stats.P.n_subproblems stats.P.final_edges
+        (P.reduction_ratio stats) stats.P.transform_rounds;
+      List.iteri
+        (fun i (sp : P.subproblem) ->
+          Printf.printf "  #%d: %s, terminals [%s]\n" i
+            (Format.asprintf "%a" Ugraph.pp_stats sp.P.graph)
+            (String.concat ", " (List.map string_of_int sp.P.terminals)))
+        subproblems
+  in
+  let doc = "Show the extension technique's reduction (Section 5)" in
+  Cmd.v (Cmd.info "preprocess" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg
+          $ terminals_arg $ k_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let out =
+    let doc = "Write the edge list to $(docv) (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let dataset_req =
+    let doc = Printf.sprintf "Dataset to generate: %s." dataset_names in
+    Arg.(required & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+  in
+  let run dataset seed scale out = guarded @@ fun () ->
+    match dataset_by_name dataset ~seed ~scale with
+    | None ->
+      or_die (Error (Printf.sprintf "unknown dataset %S (known: %s)" dataset
+                       dataset_names))
+    | Some d -> (
+      match out with
+      | Some path ->
+        Ugraph.to_file path d.D.graph;
+        Printf.printf "wrote %s (%s)\n" path
+          (Format.asprintf "%a" Ugraph.pp_stats d.D.graph)
+      | None -> Ugraph.to_channel stdout d.D.graph)
+  in
+  let doc = "Generate a built-in synthetic dataset as an edge-list file" in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ dataset_req $ seed_arg $ scale_arg $ out)
+
+(* ---- bounds ---- *)
+
+let bounds_cmd =
+  let width =
+    let doc = "Maximum S2BDD layer width." in
+    Arg.(value & opt int 10_000 & info [ "w"; "width" ] ~docv:"W" ~doc)
+  in
+  let threshold =
+    let doc = "Also report whether the bounds decide $(docv)." in
+    Arg.(value & opt (some float) None & info [ "threshold" ] ~docv:"P" ~doc)
+  in
+  let run file dataset seed scale terminals k width threshold = guarded @@ fun () ->
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
+    Printf.printf "graph %s: %s\n" name (Format.asprintf "%a" Ugraph.pp_stats g);
+    let b, dt =
+      Relstats.time (fun () -> Netrel.Bounds.compute ~width g ~terminals:ts)
+    in
+    Printf.printf "proven bounds: [%.10g, %.10g]%s\n" b.Netrel.Bounds.lower
+      b.Netrel.Bounds.upper
+      (if b.Netrel.Bounds.exact then "  (exact)" else "");
+    (match threshold with
+    | None -> ()
+    | Some p ->
+      let verdict =
+        match Netrel.Bounds.decides b ~threshold:p with
+        | `Above -> "R >= threshold (proven)"
+        | `Below -> "R < threshold (proven)"
+        | `Unknown -> "undecided at this construction budget"
+      in
+      Printf.printf "threshold %.4g: %s\n" p verdict);
+    Printf.printf "time: %s\n" (Relstats.format_seconds dt)
+  in
+  let doc = "Prove reliability bounds without sampling (anytime bounds)" in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg
+          $ terminals_arg $ k_arg $ width $ threshold)
+
+(* ---- search ---- *)
+
+let search_cmd =
+  let sources =
+    let doc = "Comma-separated source vertex ids." in
+    Arg.(required & opt (some string) None & info [ "sources" ] ~docv:"IDS" ~doc)
+  in
+  let eta =
+    let doc = "Reliability threshold in [0, 1]." in
+    Arg.(value & opt float 0.5 & info [ "eta" ] ~docv:"ETA" ~doc)
+  in
+  let samples =
+    let doc = "Shared sample count." in
+    Arg.(value & opt int 2_000 & info [ "s"; "samples" ] ~docv:"S" ~doc)
+  in
+  let run file dataset seed scale sources eta samples = guarded @@ fun () ->
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let srcs =
+      or_die
+        (try
+           Ok (String.split_on_char ',' sources
+              |> List.map (fun x -> int_of_string (String.trim x)))
+         with Failure _ -> Error "could not parse --sources")
+    in
+    Printf.printf "graph %s: %s\n" name (Format.asprintf "%a" Ugraph.pp_stats g);
+    let hits, dt =
+      Relstats.time (fun () ->
+          Uapps.Reliability_search.search ~seed ~samples g ~sources:srcs ~eta)
+    in
+    Printf.printf "%d vertices reachable with probability >= %.3f (%s):\n"
+      (List.length hits) eta (Relstats.format_seconds dt);
+    List.iter
+      (fun r ->
+        Printf.printf "  %6d  %.4f\n" r.Uapps.Reliability_search.vertex
+          r.Uapps.Reliability_search.reliability)
+      hits
+  in
+  let doc = "Reliability search: vertices reliably reachable from sources" in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg $ sources
+          $ eta $ samples)
+
+(* ---- reach ---- *)
+
+let reach_cmd =
+  let source =
+    Arg.(required & opt (some int) None
+         & info [ "source" ] ~docv:"U" ~doc:"Source vertex.")
+  in
+  let target =
+    Arg.(required & opt (some int) None
+         & info [ "target" ] ~docv:"V" ~doc:"Target vertex.")
+  in
+  let dist =
+    let doc = "Hop-distance bound; omit for plain s-t reliability." in
+    Arg.(value & opt (some int) None & info [ "max-dist" ] ~docv:"D" ~doc)
+  in
+  let samples =
+    Arg.(value & opt int 10_000
+         & info [ "s"; "samples" ] ~docv:"S" ~doc:"Sample budget.")
+  in
+  let run file dataset seed scale source target dist samples = guarded @@ fun () ->
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    Printf.printf "graph %s: %s\n" name (Format.asprintf "%a" Ugraph.pp_stats g);
+    match dist with
+    | None ->
+      let rep, dt =
+        Relstats.time (fun () -> Reach.two_terminal g ~source ~target)
+      in
+      Printf.printf "s-t reliability = %.10g%s  bounds [%.4g, %.4g]\ntime: %s\n"
+        rep.Netrel.Reliability.value
+        (if rep.Netrel.Reliability.exact then " (exact)" else "")
+        rep.Netrel.Reliability.lower rep.Netrel.Reliability.upper
+        (Relstats.format_seconds dt)
+    | Some d ->
+      let est, dt =
+        Relstats.time (fun () ->
+            Reach.distance_constrained_mc ~seed g ~source ~target ~d ~samples)
+      in
+      Printf.printf "Pr(dist(%d, %d) <= %d) = %.6g  (%d samples, %s)\n" source
+        target d est.Reach.value est.Reach.samples_used
+        (Relstats.format_seconds dt)
+  in
+  let doc = "Two-terminal and distance-constrained reachability" in
+  Cmd.v (Cmd.info "reach" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg $ source
+          $ target $ dist $ samples)
+
+let () =
+  let doc = "network reliability in uncertain graphs (S2BDD, EDBT 2019)" in
+  let info = Cmd.info "netrel" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; bounds_cmd;
+            search_cmd; reach_cmd ]))

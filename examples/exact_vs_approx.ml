@@ -1,0 +1,73 @@
+(* Exactness on small graphs: the paper emphasises that the S2BDD
+   computes the EXACT reliability when the width cap is never hit —
+   something plain sampling can never do (Table 4: zero error on Am-Rv).
+   This example walks the spectrum: brute force, exact BDD, exact
+   S2BDD, width-limited S2BDD with proven bounds, and plain sampling.
+
+     dune exec examples/exact_vs_approx.exe *)
+
+module D = Workload.Datasets
+module R = Netrel.Reliability
+module S = Netrel.S2bdd
+
+let () =
+  let d = D.am_rv () in
+  let g = d.D.graph in
+  let terminals = Workload.Generators.random_terminals ~seed:11 g ~k:10 in
+  Printf.printf "Dataset: %s (%s)\n\n" d.D.name
+    (Format.asprintf "%a" Ugraph.pp_stats g);
+
+  (* Ground truth through the exact BDD baseline (full layer storage). *)
+  let exact, bdd_t =
+    Relstats.time (fun () ->
+        match Bddbase.Exact.reliability_float g ~terminals with
+        | Ok r -> r
+        | Error (`Node_budget_exceeded _) -> failwith "BDD baseline DNF")
+  in
+  Printf.printf "%-34s %-14.8g (%s)\n" "Exact BDD baseline:" exact
+    (Relstats.format_seconds bdd_t);
+
+  (* S2BDD with a generous width: detects exactness by itself. *)
+  let wide = { S.default_config with S.width = 1 lsl 16 } in
+  let rep, pro_t = Relstats.time (fun () -> R.estimate ~config:wide g ~terminals) in
+  Printf.printf "%-34s %-14.8g (%s)%s\n" "S2BDD, width 65536:" rep.R.value
+    (Relstats.format_seconds pro_t)
+    (if rep.R.exact then "  <- reported exact" else "");
+
+  (* S2BDD with a tiny width: approximate, but the answer comes with
+     PROVEN bounds that always contain the truth. *)
+  let narrow = { S.default_config with S.width = 16; S.samples = 2_000 } in
+  let rep2, t2 = Relstats.time (fun () -> R.estimate ~config:narrow g ~terminals) in
+  Printf.printf "%-34s %-14.8g (%s) bounds [%.3g, %.3g]\n" "S2BDD, width 16:"
+    rep2.R.value (Relstats.format_seconds t2) rep2.R.lower rep2.R.upper;
+  assert (rep2.R.lower <= exact && exact <= rep2.R.upper);
+
+  (* Plain sampling cannot resolve a reliability of this magnitude with
+     a realistic sample budget: most runs return 0. *)
+  (* The reliability polynomial: the same frontier construction carries
+     subgraph counts instead of probabilities, giving R(p) for EVERY
+     uniform edge probability at once. *)
+  (let small = Testgraph.fig1 in
+   match Bddbase.Polynomial.compute small ~terminals:[ 0; 3; 4 ] with
+   | Error _ -> ()
+   | Ok poly ->
+     Printf.printf "\nReliability polynomial of the Figure-1 graph (k = 3):\n  %s\n"
+       (Format.asprintf "%a" Bddbase.Polynomial.pp poly);
+     List.iter
+       (fun p -> Printf.printf "  R(%.1f) = %.6f\n" p (Bddbase.Polynomial.eval poly p))
+       [ 0.3; 0.5; 0.7; 0.9 ];
+     print_newline ());
+
+  let mc, mc_t =
+    Relstats.time (fun () -> Mcsampling.monte_carlo ~seed:3 g ~terminals ~samples:10_000)
+  in
+  Printf.printf "%-34s %-14.8g (%s)\n" "Plain Monte Carlo, s=10000:"
+    mc.Mcsampling.value (Relstats.format_seconds mc_t);
+  print_newline ();
+  Printf.printf
+    "The S2BDD reproduces the exact value (and knows it is exact); with a\n\
+     width cap of 16 it still brackets the truth with proven bounds, while\n\
+     plain sampling at s = 10000 %s.\n"
+    (if mc.Mcsampling.value = 0. then
+       "misses the event entirely and reports 0"
+     else "only lands within sampling noise")

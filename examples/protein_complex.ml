@@ -1,0 +1,57 @@
+(* Protein-complex scenario from the paper's introduction: in a
+   protein-protein interaction network, interactions are uncertain
+   (sensitivity to experimental conditions), so an analyst scores a
+   candidate protein complex by the network reliability of its member
+   proteins — the probability that they are all mutually reachable
+   through observed interactions.
+
+     dune exec examples/protein_complex.exe *)
+
+module D = Workload.Datasets
+module R = Netrel.Reliability
+module S = Netrel.S2bdd
+
+let () =
+  (* Synthetic Hit-direct-style PPI network (heavy-tailed, dense), at a
+     reduced scale so the example runs in a few seconds. *)
+  let d = D.hit_direct ~scale:0.15 () in
+  (* Analysts often threshold interaction confidence; recalibrating the
+     scores downwards models keeping only low-confidence evidence, which
+     is where reliability analysis earns its keep. *)
+  let g = Workload.Probability.calibrate_mean ~target:0.18 d.D.graph in
+  Printf.printf "PPI network: %s\n\n" (Format.asprintf "%a" Ugraph.pp_stats g);
+
+  (* Candidate complexes: a tight neighbourhood around a hub protein
+     versus a random set of proteins. A real complex should have much
+     higher reliability than random picks. *)
+  let hub =
+    let best = ref 0 in
+    for v = 0 to Ugraph.n_vertices g - 1 do
+      if Ugraph.degree g v > Ugraph.degree g !best then best := v
+    done;
+    !best
+  in
+  let neighbourhood =
+    hub
+    :: (Array.to_list (Ugraph.neighbours g hub)
+       |> List.sort_uniq compare
+       |> List.filteri (fun i _ -> i < 4))
+  in
+  let random_set = Workload.Generators.random_terminals ~seed:7 g ~k:5 in
+  let config = { S.default_config with S.samples = 5_000; S.width = 500 } in
+  let score name terminals =
+    let report, dt = Relstats.time (fun () -> R.estimate ~config g ~terminals) in
+    Printf.printf
+      "%-22s R = %-10.4g  bounds [%.3g, %.3g]  (%s, %d samples%s)\n" name
+      report.R.value report.R.lower report.R.upper
+      (Relstats.format_seconds dt)
+      report.R.samples_drawn
+      (if report.R.exact then ", exact" else "")
+  in
+  score "hub neighbourhood" (List.sort_uniq compare neighbourhood);
+  score "random proteins" random_set;
+  print_newline ();
+  Printf.printf
+    "A candidate complex whose members are tightly interconnected scores a\n\
+     far higher reliability than a random protein set - the signal the\n\
+     paper's introduction describes for complex detection.\n"

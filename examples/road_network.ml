@@ -1,0 +1,64 @@
+(* Urban-planning scenario (Section 1): road segments fail with some
+   probability (congestion, closure, disaster); the reliability between
+   key facilities — hospitals, depots, shelters — measures how robustly
+   the road network keeps them mutually reachable.
+
+   The example compares facility placements, and shows the extension
+   technique's effect on a road network (the paper's Table 5 shows road
+   networks shrink the most under prune/decompose/transform).
+
+     dune exec examples/road_network.exe *)
+
+module D = Workload.Datasets
+module R = Netrel.Reliability
+module S = Netrel.S2bdd
+module P = Preprocess.Pipeline
+
+let () =
+  let d = D.tokyo ~scale:0.5 () in
+  let g = d.D.graph in
+  Printf.printf "Road network: %s\n\n" (Format.asprintf "%a" Ugraph.pp_stats g);
+
+  (* Facility placements: clustered in one district vs spread city-wide.
+     Grid vertex ids are row-major, so a 2x2 block of ids is a city
+     block and distant ids are distant districts. *)
+  let n = Ugraph.n_vertices g in
+  let side = int_of_float (sqrt (float_of_int n)) in
+  let c = (side / 2 * side) + (side / 2) in
+  let clustered = [ c; c + 1; c + side; c + side + 1 ] in
+  let spread = List.init 4 (fun i -> (i * n / 4) + (n / 8)) in
+  let config = { S.default_config with S.samples = 10_000; S.width = 1_000 } in
+  let score name terminals =
+    let report, dt = Relstats.time (fun () -> R.estimate ~config g ~terminals) in
+    Printf.printf "%-20s R = %-12.6g bounds [%.3g, %.3g]  (%s)\n" name
+      report.R.value report.R.lower report.R.upper
+      (Relstats.format_seconds dt)
+  in
+  score "clustered depots" clustered;
+  score "spread depots" spread;
+
+  (* How much does the extension technique shrink the problem? *)
+  print_newline ();
+  (match P.run g ~terminals:clustered with
+  | P.Trivial r ->
+    Printf.printf "Preprocessing resolved the query outright: R = %s\n"
+      (Xprob.to_string r)
+  | P.Reduced { pb; subproblems; stats } ->
+    Printf.printf
+      "Extension technique: %d edges -> %d edges in %d subproblem(s)\n\
+       (%d bridges factored out with pb = %s; reduction ratio %.3f)\n"
+      stats.P.original_edges stats.P.final_edges stats.P.n_subproblems
+      stats.P.n_bridges (Xprob.to_string pb)
+      (P.reduction_ratio stats);
+    List.iter
+      (fun (sp : P.subproblem) ->
+        Printf.printf "  subproblem: %s, %d terminals\n"
+          (Format.asprintf "%a" Ugraph.pp_stats sp.P.graph)
+          (List.length sp.P.terminals))
+      subproblems);
+  print_newline ();
+  Printf.printf
+    "Facilities in one city block stay mutually reachable with a far\n\
+     higher probability than facilities spread across the city, and the\n\
+     bridge/Steiner preprocessing shrinks the computation to the small\n\
+     relevant core of the road network.\n"

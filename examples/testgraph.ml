@@ -1,0 +1,13 @@
+(* Tiny shared fixtures for the examples. *)
+
+(* The paper's Figure 1 uncertain graph (all edges p = 0.7). *)
+let fig1 =
+  Ugraph.create ~n:5
+    [
+      { Ugraph.u = 0; v = 1; p = 0.7 };
+      { Ugraph.u = 0; v = 2; p = 0.7 };
+      { Ugraph.u = 1; v = 3; p = 0.7 };
+      { Ugraph.u = 2; v = 3; p = 0.7 };
+      { Ugraph.u = 1; v = 4; p = 0.7 };
+      { Ugraph.u = 3; v = 4; p = 0.7 };
+    ]

@@ -1,0 +1,66 @@
+type clustering = {
+  centers : int array;
+  assignment : int array;
+  reliability : float array;
+}
+
+let cluster ?(seed = 1) ?(samples = 500) g ~k =
+  let n = Ugraph.n_vertices g in
+  if k < 1 || k > n then invalid_arg "Clustering.cluster: k out of range";
+  let set = Sampleset.draw ~seed g ~samples in
+  let s = float_of_int samples in
+  (* best_rel.(v): max estimated reliability from v to any chosen
+     center; best_center.(v): index of that center. *)
+  let best_rel = Array.make n neg_infinity in
+  let best_center = Array.make n (-1) in
+  let centers = Array.make k 0 in
+  let highest_degree =
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      if Ugraph.degree g v > Ugraph.degree g !best then best := v
+    done;
+    !best
+  in
+  let add_center i c =
+    centers.(i) <- c;
+    let counts = Sampleset.reach_counts set ~sources:[ c ] in
+    Array.iteri
+      (fun v cnt ->
+        let r = float_of_int cnt /. s in
+        if r > best_rel.(v) then begin
+          best_rel.(v) <- r;
+          best_center.(v) <- i
+        end)
+      counts;
+    best_rel.(c) <- 1.;
+    best_center.(c) <- i
+  in
+  add_center 0 highest_degree;
+  for i = 1 to k - 1 do
+    (* Farthest-first: the vertex with the lowest reliability to every
+       existing center (ties towards smaller degree-weighted id for
+       determinism). *)
+    let next = ref (-1) and next_rel = ref infinity in
+    for v = 0 to n - 1 do
+      let already = Array.exists (fun c -> c = v) (Array.sub centers 0 i) in
+      if (not already) && best_rel.(v) < !next_rel then begin
+        next := v;
+        next_rel := best_rel.(v)
+      end
+    done;
+    add_center i !next
+  done;
+  { centers; assignment = best_center; reliability = best_rel }
+
+let average_inner_reliability cl =
+  let is_center = Hashtbl.create 8 in
+  Array.iter (fun c -> Hashtbl.replace is_center c ()) cl.centers;
+  let total = ref 0. and count = ref 0 in
+  Array.iteri
+    (fun v r ->
+      if not (Hashtbl.mem is_center v) then begin
+        total := !total +. r;
+        incr count
+      end)
+    cl.reliability;
+  if !count = 0 then 1. else !total /. float_of_int !count

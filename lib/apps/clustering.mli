@@ -1,0 +1,34 @@
+(** Uncertain-graph clustering in the style of Ceccarello et al.
+    (PVLDB 2017, cited as [6]): a greedy k-center where the
+    "distance" between vertices is the connection UNreliability
+    [1 - Pr(u ~ v)].
+
+    Centers are chosen farthest-first (the classical 2-approximation
+    scheme, transplanted to the reliability metric); every vertex is
+    then assigned to its most-reliable center. Reliabilities come from
+    one shared {!Sampleset}, so the whole clustering costs
+    [O(k * samples * (V + E))]. *)
+
+type clustering = {
+  centers : int array;
+  assignment : int array;
+      (** per vertex: index into [centers] of its cluster *)
+  reliability : float array;
+      (** per vertex: estimated connection probability to its center
+          (1 for the centers themselves) *)
+}
+
+val cluster :
+  ?seed:int ->
+  ?samples:int ->
+  Ugraph.t ->
+  k:int ->
+  clustering
+(** [cluster g ~k] picks [k] centers farthest-first under the
+    unreliability distance, starting from the highest-degree vertex.
+    [samples] defaults to 500.
+    @raise Invalid_argument unless [1 <= k <= n_vertices]. *)
+
+val average_inner_reliability : clustering -> float
+(** Mean over non-center vertices of the reliability to their center —
+    the quality score reported by the clustering experiments. *)

@@ -1,0 +1,29 @@
+type result = {
+  vertex : int;
+  reliability : float;
+}
+
+let search_with set ~sources ~eta =
+  if eta < 0. || eta > 1. then invalid_arg "Reliability_search: eta outside [0,1]";
+  let counts = Sampleset.reach_counts set ~sources in
+  let s = float_of_int (Sampleset.samples set) in
+  let is_source = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace is_source v ()) sources;
+  let hits = ref [] in
+  Array.iteri
+    (fun v c ->
+      if not (Hashtbl.mem is_source v) then begin
+        let r = float_of_int c /. s in
+        if r >= eta then hits := { vertex = v; reliability = r } :: !hits
+      end)
+    counts;
+  List.sort
+    (fun a b ->
+      match Float.compare b.reliability a.reliability with
+      | 0 -> compare a.vertex b.vertex
+      | c -> c)
+    !hits
+
+let search ?(seed = 1) ?(samples = 1000) g ~sources ~eta =
+  let set = Sampleset.draw ~seed g ~samples in
+  search_with set ~sources ~eta

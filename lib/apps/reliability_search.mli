@@ -1,0 +1,29 @@
+(** Reliability search (Khan, Bonchi, Gionis, Gullo — EDBT 2014, cited
+    as [22]): given source vertices and a probability threshold [eta],
+    return every vertex reachable from the sources with probability at
+    least [eta].
+
+    The implementation shares one {!Sampleset} across all per-vertex
+    estimates (one multi-source BFS per sample), so the whole query
+    costs the same as a single Monte Carlo reliability estimate. *)
+
+type result = {
+  vertex : int;
+  reliability : float;  (** estimated reachability probability *)
+}
+
+val search :
+  ?seed:int ->
+  ?samples:int ->
+  Ugraph.t ->
+  sources:int list ->
+  eta:float ->
+  result list
+(** Vertices with estimated reachability [>= eta], sorted by decreasing
+    reliability (sources excluded). [samples] defaults to 1000.
+    @raise Invalid_argument on an empty source list, out-of-range
+    sources, or [eta] outside [[0, 1]]. *)
+
+val search_with : Sampleset.t -> sources:int list -> eta:float -> result list
+(** Same, over a prebuilt sample set (cheaper when issuing many
+    queries). *)

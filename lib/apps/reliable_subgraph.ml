@@ -1,0 +1,113 @@
+type result = {
+  vertices : int list;
+  subgraph : Ugraph.t;
+  seed_terminals : int list;
+  reliability : float;
+}
+
+(* Seed-connectivity count over the sample set, ignoring removed
+   vertices (their incident edges are treated as absent). *)
+let connected_count set ~removed seeds =
+  let g = Sampleset.graph set in
+  let dsu = Dsu.create (Ugraph.n_vertices g) in
+  let count = ref 0 in
+  for sample = 0 to Sampleset.samples set - 1 do
+    Dsu.reset dsu;
+    Ugraph.iter_edges
+      (fun eid (e : Ugraph.edge) ->
+        if
+          (not removed.(e.u))
+          && (not removed.(e.v))
+          && Sampleset.edge_present set ~sample ~eid
+        then ignore (Dsu.union dsu e.u e.v))
+      g;
+    if Dsu.all_connected dsu seeds then incr count
+  done;
+  !count
+
+(* Per-vertex support: samples in which the vertex is reachable from a
+   seed, under removals. Low-support vertices are removal candidates. *)
+let support set ~removed seeds =
+  let g = Sampleset.graph set in
+  let n = Ugraph.n_vertices g in
+  let counts = Array.make n 0 in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  for sample = 0 to Sampleset.samples set - 1 do
+    Array.fill seen 0 n false;
+    List.iter
+      (fun v ->
+        if (not removed.(v)) && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      seeds;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      counts.(v) <- counts.(v) + 1;
+      Ugraph.iter_incident g v (fun ~eid ~other ->
+          if
+            (not seen.(other))
+            && (not removed.(other))
+            && Sampleset.edge_present set ~sample ~eid
+          then begin
+            seen.(other) <- true;
+            Queue.add other queue
+          end)
+    done
+  done;
+  counts
+
+let discover ?(seed = 1) ?(samples = 500) ?max_rounds g ~seeds ~threshold =
+  Ugraph.validate_terminals g seeds;
+  if threshold < 0. || threshold > 1. then
+    invalid_arg "Reliable_subgraph.discover: threshold outside [0,1]";
+  let n = Ugraph.n_vertices g in
+  let max_rounds = Option.value ~default:n max_rounds in
+  let set = Sampleset.draw ~seed g ~samples in
+  let s = float_of_int samples in
+  let removed = Array.make n false in
+  let is_seed = Array.make n false in
+  List.iter (fun v -> is_seed.(v) <- true) seeds;
+  let current = ref (connected_count set ~removed seeds) in
+  let min_count = int_of_float (Float.ceil (threshold *. s)) in
+  let rounds = ref 0 in
+  let progressing = ref (!current >= min_count) in
+  while !progressing && !rounds < max_rounds do
+    incr rounds;
+    (* Candidates in ascending support order; accept the first whose
+       removal keeps the reliability above threshold. *)
+    let sup = support set ~removed seeds in
+    let candidates =
+      List.init n Fun.id
+      |> List.filter (fun v -> (not removed.(v)) && not is_seed.(v))
+      |> List.sort (fun a b ->
+             match compare sup.(a) sup.(b) with 0 -> compare a b | c -> c)
+    in
+    let rec try_remove = function
+      | [] -> false
+      | v :: rest ->
+        removed.(v) <- true;
+        let c = connected_count set ~removed seeds in
+        if c >= min_count then begin
+          current := c;
+          true
+        end
+        else begin
+          removed.(v) <- false;
+          try_remove rest
+        end
+    in
+    progressing := try_remove candidates
+  done;
+  let vertices =
+    List.init n Fun.id |> List.filter (fun v -> not removed.(v))
+  in
+  let subgraph, old_of_new = Ugraph.induced g (Array.of_list vertices) in
+  let seed_terminals = Ugraph.relabel_terminals ~old_of_new seeds in
+  {
+    vertices;
+    subgraph;
+    seed_terminals;
+    reliability = float_of_int !current /. s;
+  }

@@ -1,0 +1,31 @@
+(** Reliable-subgraph discovery in the style of Jin, Liu and Aggarwal
+    (KDD 2011, cited as [18]): given seed terminals and a reliability
+    threshold, grow a small vertex set containing the seeds whose
+    induced subgraph still connects them with probability above the
+    threshold.
+
+    Greedy top-down: start from the whole graph; repeatedly remove the
+    non-seed vertex whose removal hurts the (shared-sample estimated)
+    seed reliability the least, while the reliability stays at or above
+    [threshold]. The procedure evaluates candidates on one shared
+    {!Sampleset} for consistency and speed. *)
+
+type result = {
+  vertices : int list;       (** retained vertex set, including seeds *)
+  subgraph : Ugraph.t;       (** induced subgraph, renumbered *)
+  seed_terminals : int list; (** seeds in the subgraph's numbering *)
+  reliability : float;       (** estimated seed reliability in it *)
+}
+
+val discover :
+  ?seed:int ->
+  ?samples:int ->
+  ?max_rounds:int ->
+  Ugraph.t ->
+  seeds:int list ->
+  threshold:float ->
+  result
+(** [samples] defaults to 500; [max_rounds] (vertex removals attempted,
+    default [n_vertices]) bounds the work.
+    @raise Invalid_argument on invalid seeds or threshold outside
+    [[0, 1]]. *)

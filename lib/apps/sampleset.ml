@@ -1,0 +1,113 @@
+type t = {
+  g : Ugraph.t;
+  s : int;
+  bits : Bytes.t; (* sample-major bit matrix: sample * m + eid *)
+}
+
+let graph t = t.g
+let samples t = t.s
+
+let draw ?(seed = 1) g ~samples =
+  if samples <= 0 then invalid_arg "Sampleset.draw: samples <= 0";
+  let m = Ugraph.n_edges g in
+  let bits = Bytes.make (((samples * m) + 7) / 8) '\000' in
+  let rng = Prng.create seed in
+  let idx = ref 0 in
+  for _ = 1 to samples do
+    Ugraph.iter_edges
+      (fun _ (e : Ugraph.edge) ->
+        if Prng.bernoulli rng e.p then begin
+          let byte = !idx lsr 3 and bit = !idx land 7 in
+          Bytes.unsafe_set bits byte
+            (Char.chr (Char.code (Bytes.unsafe_get bits byte) lor (1 lsl bit)))
+        end;
+        incr idx)
+      g
+  done;
+  { g; s = samples; bits }
+
+let edge_present t ~sample ~eid =
+  if sample < 0 || sample >= t.s then invalid_arg "Sampleset.edge_present: sample";
+  if eid < 0 || eid >= Ugraph.n_edges t.g then
+    invalid_arg "Sampleset.edge_present: eid";
+  let idx = (sample * Ugraph.n_edges t.g) + eid in
+  Char.code (Bytes.unsafe_get t.bits (idx lsr 3)) land (1 lsl (idx land 7)) <> 0
+
+let present_unsafe t base eid =
+  let idx = base + eid in
+  Char.code (Bytes.unsafe_get t.bits (idx lsr 3)) land (1 lsl (idx land 7)) <> 0
+
+let reach_counts t ~sources =
+  let g = t.g in
+  let n = Ugraph.n_vertices g in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Sampleset.reach_counts: source range")
+    sources;
+  if sources = [] then invalid_arg "Sampleset.reach_counts: no sources";
+  let counts = Array.make n 0 in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let m = Ugraph.n_edges g in
+  for sample = 0 to t.s - 1 do
+    let base = sample * m in
+    Array.fill seen 0 n false;
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      sources;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      counts.(v) <- counts.(v) + 1;
+      Ugraph.iter_incident g v (fun ~eid ~other ->
+          if (not seen.(other)) && present_unsafe t base eid then begin
+            seen.(other) <- true;
+            Queue.add other queue
+          end)
+    done
+  done;
+  counts
+
+let with_dsu t f =
+  let g = t.g in
+  let dsu = Dsu.create (Ugraph.n_vertices g) in
+  let m = Ugraph.n_edges g in
+  for sample = 0 to t.s - 1 do
+    let base = sample * m in
+    Dsu.reset dsu;
+    Ugraph.iter_edges
+      (fun eid (e : Ugraph.edge) ->
+        if present_unsafe t base eid then ignore (Dsu.union dsu e.u e.v))
+      g;
+    f dsu
+  done
+
+let connected_count t vertices =
+  match vertices with
+  | [] | [ _ ] -> t.s
+  | _ ->
+    let count = ref 0 in
+    with_dsu t (fun dsu -> if Dsu.all_connected dsu vertices then incr count);
+    !count
+
+let pairwise_counts t vertices =
+  let vs = Array.of_list vertices in
+  let k = Array.length vs in
+  let counts = Array.make (k * k) 0 in
+  with_dsu t (fun dsu ->
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if Dsu.connected dsu vs.(i) vs.(j) then
+            counts.((i * k) + j) <- counts.((i * k) + j) + 1
+        done
+      done);
+  let out = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto i + 1 do
+      out := (vs.(i), vs.(j), counts.((i * k) + j)) :: !out
+    done
+  done;
+  !out

@@ -1,0 +1,34 @@
+(** A reusable set of sampled possible graphs.
+
+    The uncertain-graph analyses of Section 2 (reliability search,
+    reliable subgraphs, clustering) all evaluate many reliability
+    queries over the same graph; sharing one set of sampled possible
+    graphs across queries amortises the sampling cost and makes query
+    answers consistent (the same world is used for every query).
+
+    Samples are stored bit-packed: [samples * n_edges / 8] bytes. *)
+
+type t
+
+val draw : ?seed:int -> Ugraph.t -> samples:int -> t
+(** Sample [samples] possible graphs. @raise Invalid_argument if
+    [samples <= 0]. *)
+
+val graph : t -> Ugraph.t
+val samples : t -> int
+
+val edge_present : t -> sample:int -> eid:int -> bool
+
+val reach_counts : t -> sources:int list -> int array
+(** Per vertex: in how many samples it is reachable from at least one
+    source (multi-source BFS per sample). The sources themselves count
+    in every sample. O(samples * (V + E)). *)
+
+val connected_count : t -> int list -> int
+(** Number of samples in which all the given vertices are connected —
+    [s * R^] for the terminal set. *)
+
+val pairwise_counts : t -> int list -> (int * int * int) list
+(** For every unordered pair of the given vertices: [(u, v, count)]
+    with [count] the samples connecting them. One union–find pass per
+    sample. *)

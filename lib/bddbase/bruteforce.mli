@@ -1,0 +1,12 @@
+(** Exact network reliability by exhaustive enumeration of all [2^|E|]
+    possible graphs (Definition 1, computed literally).
+
+    Only feasible for tiny graphs; used as the ground truth oracle in
+    tests and for the paper's Figure 1 example. *)
+
+val max_edges : int
+(** Enumeration refuses beyond this many edges (25). *)
+
+val reliability : Ugraph.t -> terminals:int list -> float
+(** @raise Invalid_argument if the graph has more than {!max_edges}
+    edges or the terminal set is invalid. A single terminal gives 1. *)

@@ -1,0 +1,117 @@
+type stats = {
+  recursive_calls : int;
+  reductions : int;
+}
+
+type error = [ `Budget_exceeded of int ]
+
+let default_call_budget = 2_000_000
+
+exception Budget of int
+
+(* Contract edge (u, v): redirect every occurrence of v to u. The
+   vertex v goes dangling and the next reduction pass removes it; any
+   self-loops or parallels created are likewise cleaned up there. *)
+let contract g ~eid =
+  let e = Ugraph.edge g eid in
+  let u = e.Ugraph.u and v = e.Ugraph.v in
+  let redirect x = if x = v then u else x in
+  let edges =
+    Ugraph.fold_edges
+      (fun acc i (ed : Ugraph.edge) ->
+        if i = eid then acc
+        else { Ugraph.u = redirect ed.u; v = redirect ed.v; p = ed.p } :: acc)
+      [] g
+  in
+  (Ugraph.create ~n:(Ugraph.n_vertices g) (List.rev edges), u, v)
+
+let delete g ~eid =
+  let edges =
+    Ugraph.fold_edges
+      (fun acc i (ed : Ugraph.edge) -> if i = eid then acc else ed :: acc)
+      [] g
+  in
+  Ugraph.create ~n:(Ugraph.n_vertices g) (List.rev edges)
+
+(* Pivot selection: an edge incident to a terminal with the largest
+   probability — deciding high-probability terminal edges first
+   collapses the recursion quickly on both branches. *)
+let pick_pivot g ts =
+  let is_terminal = Array.make (Ugraph.n_vertices g) false in
+  List.iter (fun t -> is_terminal.(t) <- true) ts;
+  let best = ref (-1) and best_p = ref (-1.) in
+  Ugraph.iter_edges
+    (fun eid (e : Ugraph.edge) ->
+      if e.u <> e.v && (is_terminal.(e.u) || is_terminal.(e.v)) && e.p > !best_p
+      then begin
+        best := eid;
+        best_p := e.p
+      end)
+    g;
+  if !best >= 0 then !best
+  else begin
+    (* No terminal-incident edge (cannot happen on a reduced connected
+       subproblem, but stay total): fall back to the max-p edge. *)
+    Ugraph.iter_edges
+      (fun eid (e : Ugraph.edge) ->
+        if e.u <> e.v && e.p > !best_p then begin
+          best := eid;
+          best_p := e.p
+        end)
+      g;
+    !best
+  end
+
+let reliability ?(call_budget = default_call_budget) g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  let calls = ref 0 and reductions = ref 0 in
+  (* Reduce with the full extension pipeline (prune, bridge factoring,
+     series/parallel/loop transform), then factor on a pivot edge of
+     each remaining subproblem. *)
+  let rec solve g ts =
+    incr calls;
+    if !calls > call_budget then raise (Budget !calls);
+    incr reductions;
+    match Preprocess.Pipeline.run g ~terminals:ts with
+    | Preprocess.Pipeline.Trivial r -> Xprob.to_float_approx r
+    | Preprocess.Pipeline.Reduced { pb; subproblems; _ } ->
+      List.fold_left
+        (fun acc (sp : Preprocess.Pipeline.subproblem) ->
+          acc *. factor sp.Preprocess.Pipeline.graph sp.Preprocess.Pipeline.terminals)
+        (Xprob.to_float_approx pb)
+        subproblems
+  and factor g ts =
+    match (Ugraph.n_edges g, ts) with
+    | 1, [ a; b ] when
+        (let e = Ugraph.edge g 0 in
+         (e.Ugraph.u = a && e.Ugraph.v = b) || (e.Ugraph.u = b && e.Ugraph.v = a))
+      ->
+      (* A fully collapsed subproblem: one edge between the two
+         terminals. *)
+      (Ugraph.edge g 0).Ugraph.p
+    | _ -> factor_pivot g ts
+  and factor_pivot g ts =
+    let eid = pick_pivot g ts in
+    if eid < 0 then
+      (* Only self-loops left: connectivity is already decided; the
+         pipeline would have resolved it, so terminals are trivially
+         connected only if a single terminal remains. *)
+      if List.length ts <= 1 then 1.
+      else 0.
+    else begin
+      let e = Ugraph.edge g eid in
+      let contracted, u, v = contract g ~eid in
+      let ts_contracted =
+        List.sort_uniq compare (List.map (fun t -> if t = v then u else t) ts)
+      in
+      let on = solve contracted ts_contracted in
+      let off = solve (delete g ~eid) ts in
+      (e.Ugraph.p *. on) +. ((1. -. e.Ugraph.p) *. off)
+    end
+  in
+  match solve g terminals with
+  | r -> Ok (r, { recursive_calls = !calls; reductions = !reductions })
+  | exception Budget n -> Error (`Budget_exceeded n)
+
+let reliability_float ?call_budget g ~terminals =
+  Result.map fst (reliability ?call_budget g ~terminals)

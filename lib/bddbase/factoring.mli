@@ -1,0 +1,40 @@
+(** Exact k-terminal reliability by the Factoring Theorem — Equation (12)
+    of the paper (Colbourn 1987):
+
+    [R[GE] = p(e) * R[GE + e existent] + (1 - p(e)) * R[GE + e absent]]
+
+    with reliability-preserving reductions applied at every recursion
+    step (self-loop deletion, parallel-edge merge, series contraction,
+    dangling removal — the same rewrites as the extension technique's
+    transform phase — plus bridge factoring via Lemma 5.1 through the
+    full pipeline at the root).
+
+    This is the classical exact alternative to the BDD-based approach:
+    exponential in the worst case, but the reductions make it practical
+    on small and series-parallel-ish graphs. Used as an independent
+    exact baseline to cross-check the BDD and the S2BDD. *)
+
+type stats = {
+  recursive_calls : int;  (** factoring branches explored *)
+  reductions : int;       (** transform fixpoints applied *)
+}
+
+type error = [ `Budget_exceeded of int ]
+
+val default_call_budget : int
+(** 2 million recursive calls. *)
+
+val reliability :
+  ?call_budget:int ->
+  Ugraph.t ->
+  terminals:int list ->
+  (float * stats, error) Result.t
+(** Exact [R[G, T]]. Degenerate cases (single terminal, separated
+    terminals) resolve without recursion. Aborts with
+    [`Budget_exceeded] after [call_budget] branches. *)
+
+val reliability_float :
+  ?call_budget:int ->
+  Ugraph.t ->
+  terminals:int list ->
+  (float, error) Result.t

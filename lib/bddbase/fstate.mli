@@ -1,0 +1,129 @@
+(** The frontier state machine shared by the exact baseline BDD and the
+    paper's S2BDD.
+
+    A node of a frontier-based BDD at layer [l] represents an
+    intermediate graph (Section 3.1): edges before position [l] are
+    fixed existent/non-existent, the rest are uncertain.  The node's
+    state is a sufficient statistic of that past: the partition of the
+    current frontier vertices into connected components plus, per
+    component, the number of terminals attached to it
+    (the [c]/[t] attributes of Definition 2; the [d] attribute is
+    derivable from the layer context and exposed by
+    {!component_uncertain_degrees}).
+
+    Because the state is sufficient for the future, it also drives the
+    paper's dynamic-programming sampling: {!descend} completes an
+    intermediate graph into a possible graph by sampling the remaining
+    edges and stepping this same machine to a sink. *)
+
+type state
+(** Canonical frontier state. Equal states are interchangeable: they
+    generate identical sub-BDDs. The representation is sparse: only
+    {e non-trivial} frontier vertices (in a component spanning two or
+    more frontier vertices, or carrying a terminal) are stored; the
+    rest are implicit singletons, so state size tracks the active
+    cluster boundary rather than the frontier width. *)
+
+type ctx
+(** Immutable per-instance context: graph, edge order, frontier plan,
+    terminal bookkeeping and per-layer slot maps. *)
+
+val make :
+  Ugraph.t -> order:int array -> terminals:int list -> ctx
+(** Precompute layer contexts for a graph under an edge order.
+    @raise Invalid_argument on an invalid order or terminal set. *)
+
+val n_positions : ctx -> int
+val n_terminals : ctx -> int
+val edge_at : ctx -> int -> Ugraph.edge
+(** The edge processed at a position (layer). *)
+
+val frontier_size_after : ctx -> int -> int
+(** Number of frontier vertices after processing a position. *)
+
+val initial : state
+(** The empty state before processing position 0 (the BDD root). *)
+
+(** Result of processing one edge decision. *)
+type outcome =
+  | Sink1          (** all terminals connected: contributes to [pc] *)
+  | Sink0          (** terminals disconnected forever: contributes to [pd] *)
+  | Live of state  (** still undecided; a node at the next layer *)
+
+val step : ctx -> eager:bool -> pos:int -> state -> exists:bool -> outcome
+(** Process the edge at [pos] with the given existence decision on a
+    state valid at layer [pos].
+
+    With [eager = true], the extended conditions of Lemmas 4.1–4.2 fire:
+    a component holding every terminal sinks to 1 immediately; otherwise
+    sinks trigger when departing vertices strand a terminal-bearing
+    component.  With [eager = false] (the state-of-the-art baseline
+    behaviour), only departure-time resolution is applied.  Both modes
+    are exact; eager mode resolves sooner and keeps layers smaller. *)
+
+val key_exact : state -> int array
+(** Canonical merge key preserving exact per-component terminal counts
+    (baseline BDD node merging). *)
+
+val key_flags : state -> int array
+(** Coarser canonical key using only per-component terminal flags —
+    the Lemma 4.3 merge criterion (still exact; merges more nodes). *)
+
+val component_count : state -> int
+
+val component_terminals : state -> int array
+(** Terminal count per component id. *)
+
+val component_uncertain_degrees : ctx -> pos:int -> state -> int array
+(** Per component id: total number of uncertain (position [> pos])
+    edge endpoints over the component's frontier vertices — the
+    [d_{n,f}] attribute, for a state at layer [pos + 1]. *)
+
+val remaining_degrees : ctx -> pos:int -> int array
+(** Per vertex: number of incident edges at positions strictly after
+    [pos]. O(|V| log deg); construction loops instead maintain this
+    incrementally and hand it to {!heuristic_log2}. *)
+
+val heuristic_log2 : ctx -> rem:int array -> state -> log2_pn:float -> float
+(** Priority of a node for the deleting procedure, Equation (10):
+    [h(n) = p_n * max_f (t_{n,f} / k, 1 / d_{n,f})] over frontier
+    components with [t > 0], computed in log2 to survive tiny [p_n].
+    [rem] is the per-vertex remaining-degree table at the state's layer
+    (from {!remaining_degrees} or maintained incrementally). States with
+    no terminal-bearing frontier component rank lowest at equal [p_n]
+    (factor [1 / (2k * (1 + width))]). *)
+
+val descend :
+  ctx -> eager:bool -> pos:int -> state ->
+  bernoulli:(float -> bool) -> bool
+(** Complete the intermediate graph represented by a state at layer
+    [pos] into a random possible graph: draws every remaining edge with
+    [bernoulli p] and steps to a sink. Returns [true] on [Sink1].
+    Unbiased conditional sample given the node.
+    @raise Invalid_argument if the machine reaches the end without
+    sinking (impossible when every terminal has positive degree and
+    [k >= 2], which {!make} enforces). *)
+
+val descend_union :
+  ctx ->
+  dsu:Dsu.t ->
+  detail:bool ->
+  pos:int ->
+  state ->
+  bernoulli:(float -> bool) ->
+  bool * int * float
+(** Fast equivalent of {!descend}: completes the possible graph by
+    sampling every remaining edge and checks terminal connectivity with
+    one union–find pass instead of stepping the state machine —
+    [O(remaining edges)] per sample, like the plain Monte Carlo
+    sampler. Returns [(connected, completion_hash, log_probability)];
+    the latter two feed the Horvitz–Thompson estimator and are only
+    computed when [detail] is [true] ([0, 0.] otherwise — the Monte
+    Carlo estimator skips that work).
+
+    [dsu] must have size at least
+    [n_vertices + component_count state]; size [2 * n_vertices] always
+    suffices. It is reset on entry. *)
+
+module Key_table : Hashtbl.S with type key = int array
+(** Hash tables over merge keys (array-content hashing). *)

@@ -1,0 +1,42 @@
+(** The reliability polynomial (Colbourn 1987, the classical object the
+    paper's exact computation specialises): for a graph with [m] edges
+    and terminal set [T],
+
+    [R(p) = sum_j N_j p^j (1-p)^(m-j)]
+
+    where [N_j] counts the [j]-edge subgraphs connecting all terminals.
+    The coefficients are computed with the same frontier construction as
+    the exact BDD, carrying one subgraph-count vector per node instead
+    of a probability — so the whole polynomial costs one BDD pass.
+
+    Counts are held in floats: exact up to [2^53], which covers every
+    graph the exact BDD can finish anyway. *)
+
+type t = private {
+  n_edges : int;
+  counts : float array;  (** [counts.(j)] is [N_j]; length [m + 1] *)
+}
+
+type error = [ `Node_budget_exceeded of int ]
+
+val compute :
+  ?order:int array ->
+  ?node_budget:int ->
+  Ugraph.t ->
+  terminals:int list ->
+  (t, error) Result.t
+(** Coefficients of the reliability polynomial. Edge probabilities of
+    the input are ignored (the polynomial is about the topology).
+    Degenerate terminal sets are handled: a single terminal yields
+    [N_j = C(m, j)]; separated terminals yield all zeros. *)
+
+val eval : t -> float -> float
+(** [eval poly p] is [R(p)] for a uniform edge probability [p],
+    evaluated stably in the binomial basis.
+    @raise Invalid_argument if [p] is outside [[0, 1]]. *)
+
+val connected_subgraphs : t -> float
+(** [sum_j N_j] — the number of possible graphs connecting the
+    terminals (equals [2^m * R(1/2)]). *)
+
+val pp : Format.formatter -> t -> unit

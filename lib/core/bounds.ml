@@ -1,0 +1,42 @@
+type t = {
+  lower : float;
+  upper : float;
+  exact : bool;
+  layers_built : int;
+  work_used : bool;
+}
+
+let compute ?(width = 10_000) ?max_work ?(order = `Auto) ?(extension = true) g
+    ~terminals =
+  let config =
+    {
+      S2bdd.default_config with
+      S2bdd.width;
+      (* One nominal sample: the constructor still runs its deletion /
+         sampling plumbing, but with a single-descent budget the cost
+         is construction-only. *)
+      S2bdd.samples = 1;
+      S2bdd.order;
+      S2bdd.max_work =
+        Option.value ~default:S2bdd.default_config.S2bdd.max_work max_work;
+    }
+  in
+  let report = Reliability.estimate ~config ~extension g ~terminals in
+  let layers, capped =
+    List.fold_left
+      (fun (l, c) (r : S2bdd.result) ->
+        (l + r.S2bdd.layers_built, c || r.S2bdd.stop = S2bdd.Work_capped))
+      (0, false) report.Reliability.subresults
+  in
+  {
+    lower = report.Reliability.lower;
+    upper = report.Reliability.upper;
+    exact = report.Reliability.exact;
+    layers_built = layers;
+    work_used = capped;
+  }
+
+let decides t ~threshold =
+  if t.lower >= threshold then `Above
+  else if t.upper < threshold then `Below
+  else `Unknown

@@ -1,0 +1,33 @@
+(** Anytime reliability bounds without sampling.
+
+    The S2BDD's [pc <= R <= 1 - pd] bounds are useful on their own —
+    e.g. to prove that a reliability clears (or cannot clear) a
+    threshold — and they only require construction, no sampling. This
+    module runs the construction under an effort budget and returns the
+    proven interval. *)
+
+type t = {
+  lower : float;
+  upper : float;
+  exact : bool;       (** the interval collapsed: lower = upper = R *)
+  layers_built : int;
+  work_used : bool;   (** true when the effort budget stopped construction *)
+}
+
+val compute :
+  ?width:int ->
+  ?max_work:int ->
+  ?order:[ `Auto | `Strategy of Graphalgo.Ordering.strategy | `Explicit of int array ] ->
+  ?extension:bool ->
+  Ugraph.t ->
+  terminals:int list ->
+  t
+(** Proven bounds on [R[G, T]] under the given construction budget
+    ([width] defaults to 10000, [max_work] to the {!S2bdd}
+    default). With [extension] (default true) the bounds multiply over
+    the decomposed subproblems, which keeps them valid. *)
+
+val decides : t -> threshold:float -> [ `Above | `Below | `Unknown ]
+(** Whether the interval settles a threshold query:
+    [`Above] when [lower >= threshold], [`Below] when
+    [upper < threshold], [`Unknown] otherwise. *)

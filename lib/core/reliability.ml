@@ -1,0 +1,107 @@
+module P = Preprocess.Pipeline
+
+type report = {
+  value : float;
+  lower : float;
+  upper : float;
+  exact : bool;
+  s_given : int;
+  s_reduced : int;
+  samples_drawn : int;
+  subresults : S2bdd.result list;
+  preprocess : P.stats option;
+}
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let trivial_report cfg value =
+  {
+    value;
+    lower = value;
+    upper = value;
+    exact = true;
+    s_given = cfg.S2bdd.samples;
+    s_reduced = 0;
+    samples_drawn = 0;
+    subresults = [];
+    preprocess = None;
+  }
+
+let combine cfg ~pb ~stats subresults =
+  let value, lower, upper, exact =
+    List.fold_left
+      (fun (v, lo, hi, ex) (r : S2bdd.result) ->
+        ( v *. clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value,
+          lo *. r.S2bdd.lower,
+          hi *. r.S2bdd.upper,
+          ex && r.S2bdd.exact ))
+      (pb, pb, pb, true) subresults
+  in
+  {
+    value;
+    lower;
+    upper;
+    exact;
+    s_given = cfg.S2bdd.samples;
+    (* The binding residual budget: subproblems run sequentially, each
+       with its own Theorem-1 budget, so the largest one dominates. *)
+    s_reduced =
+      List.fold_left (fun acc (r : S2bdd.result) -> max acc r.S2bdd.s_reduced) 0 subresults;
+    samples_drawn =
+      List.fold_left
+        (fun acc (r : S2bdd.result) -> acc + r.S2bdd.samples_drawn)
+        0 subresults;
+    subresults;
+    preprocess = stats;
+  }
+
+let estimate ?(config = S2bdd.default_config) ?(extension = true) g ~terminals =
+  if extension then begin
+    match P.run g ~terminals with
+    | P.Trivial r -> trivial_report config (Xprob.to_float_exn r)
+    | P.Reduced { pb; subproblems; stats } ->
+      let seed_rng = Prng.create config.S2bdd.seed in
+      let subresults =
+        List.map
+          (fun (sp : P.subproblem) ->
+            let sub_cfg =
+              { config with S2bdd.seed = Int64.to_int (Prng.bits64 seed_rng) }
+            in
+            S2bdd.estimate ~config:sub_cfg sp.P.graph ~terminals:sp.P.terminals)
+          subproblems
+      in
+      combine config ~pb:(Xprob.to_float_exn pb) ~stats:(Some stats) subresults
+  end
+  else begin
+    let r = S2bdd.estimate ~config g ~terminals in
+    {
+      value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
+      lower = r.S2bdd.lower;
+      upper = r.S2bdd.upper;
+      exact = r.S2bdd.exact;
+      s_given = r.S2bdd.s_given;
+      s_reduced = r.S2bdd.s_reduced;
+      samples_drawn = r.S2bdd.samples_drawn;
+      subresults = [ r ];
+      preprocess = None;
+    }
+  end
+
+let exact ?node_budget ?(extension = true) g ~terminals =
+  if not extension then Bddbase.Exact.reliability_float ?node_budget g ~terminals
+  else begin
+    match P.run g ~terminals with
+    | P.Trivial r -> Ok (Xprob.to_float_exn r)
+    | P.Reduced { pb; subproblems; _ } ->
+      let rec go acc = function
+        | [] -> Ok acc
+        | (sp : P.subproblem) :: rest -> (
+          match
+            Bddbase.Exact.reliability_float ?node_budget sp.P.graph
+              ~terminals:sp.P.terminals
+          with
+          | Ok r -> go (acc *. r) rest
+          | Error e -> Error e)
+      in
+      go (Xprob.to_float_exn pb) subproblems
+  end

@@ -1,0 +1,44 @@
+(** The end-to-end pipeline of Algorithm 1: preprocess with the
+    extension technique, run an S2BDD per decomposed subproblem, and
+    multiply.
+
+    This is the primary public entry point of the library. *)
+
+type report = {
+  value : float;       (** estimated (or exact) [R[G, T]], clamped into
+                           [[lower, upper]] *)
+  lower : float;       (** proven lower bound (product form) *)
+  upper : float;       (** proven upper bound *)
+  exact : bool;        (** every subproblem resolved exactly *)
+  s_given : int;
+  s_reduced : int;     (** largest final Theorem-1 budget over subproblems *)
+  samples_drawn : int;
+  subresults : S2bdd.result list;
+  preprocess : Preprocess.Pipeline.stats option;
+      (** [None] when the extension produced a trivial answer or was
+          disabled *)
+}
+
+val estimate :
+  ?config:S2bdd.config ->
+  ?extension:bool ->
+  Ugraph.t ->
+  terminals:int list ->
+  report
+(** [estimate g ~terminals] approximates [R[G, T]].
+
+    With [extension = true] (default) the graph is pruned, decomposed
+    at bridges and transformed first (Section 5); each subproblem gets
+    its own S2BDD with an independent seed split from [config.seed],
+    and the results multiply with the bridge probability [pb]
+    (Lemma 5.1). With [extension = false], a single S2BDD runs on the
+    raw graph — the paper's "Pro w/o ext" configuration. *)
+
+val exact :
+  ?node_budget:int ->
+  ?extension:bool ->
+  Ugraph.t ->
+  terminals:int list ->
+  (float, Bddbase.Exact.error) Result.t
+(** Exact reliability through the full-BDD baseline, optionally after
+    the (exactness-preserving) extension technique. *)

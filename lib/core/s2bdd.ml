@@ -1,0 +1,361 @@
+module F = Bddbase.Fstate
+module O = Graphalgo.Ordering
+
+let log_src = Logs.Src.create "netrel.s2bdd" ~doc:"S2BDD construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type estimator =
+  | Monte_carlo
+  | Horvitz_thompson
+
+type deletion_heuristic =
+  | Paper_heuristic
+  | Random_deletion
+
+type config = {
+  samples : int;
+  width : int;
+  estimator : estimator;
+  seed : int;
+  order : [ `Auto | `Strategy of Graphalgo.Ordering.strategy | `Explicit of int array ];
+  eager : bool;
+  merge_flags : bool;
+  heuristic : deletion_heuristic;
+  patience : int;
+  min_progress : float;
+  max_work : int;
+}
+
+let default_config =
+  {
+    samples = 10_000;
+    width = 10_000;
+    estimator = Monte_carlo;
+    seed = 1;
+    order = `Auto;
+    eager = true;
+    merge_flags = true;
+    heuristic = Paper_heuristic;
+    patience = 50;
+    min_progress = 1e-5;
+    max_work = 80_000_000;
+  }
+
+type stop_reason =
+  | Completed    (* every layer processed; all mass resolved or deleted *)
+  | Converged    (* expected residual sampling work fell below one descent *)
+  | Stagnated    (* saturated layers stopped improving the bounds *)
+  | Work_capped  (* construction effort budget exhausted *)
+
+let stop_reason_name = function
+  | Completed -> "completed"
+  | Converged -> "converged"
+  | Stagnated -> "stagnated"
+  | Work_capped -> "work-capped"
+
+type result = {
+  value : float;
+  lower : float;
+  upper : float;
+  pc : Xprob.t;
+  pd : Xprob.t;
+  exact : bool;
+  s_given : int;
+  s_reduced : int;
+  samples_drawn : int;
+  sampled_nodes : int;
+  deleted_nodes : int;
+  layers_built : int;
+  max_width : int;
+  peak_state_words : int;
+  aborted : bool;
+  stop : stop_reason;
+}
+
+let trivial_result cfg value =
+  {
+    value;
+    lower = value;
+    upper = value;
+    pc = (if value >= 1. then Xprob.one else Xprob.zero);
+    pd = (if value >= 1. then Xprob.zero else Xprob.one);
+    exact = true;
+    s_given = cfg.samples;
+    s_reduced = 0;
+    samples_drawn = 0;
+    sampled_nodes = 0;
+    deleted_nodes = 0;
+    layers_built = 0;
+    max_width = 0;
+    peak_state_words = 0;
+    aborted = false;
+    stop = Completed;
+  }
+
+(* Randomised rounding: E[alloc rng x] = x exactly. *)
+let alloc rng x =
+  if x <= 0. then 0
+  else
+    let f = Float.floor x in
+    int_of_float f + (if Prng.bernoulli rng (x -. f) then 1 else 0)
+
+(* One DP descent from a node's state: the state anchors past
+   connectivity, the remaining edges are flipped, one union-find pass
+   decides the indicator. Returns [(connected, hash, log_q)]; the hash
+   and log-probability are only computed for the HT estimator. *)
+let descend_detailed ctx dsu rng ~detail ~pos st =
+  F.descend_union ctx ~dsu ~detail ~pos st ~bernoulli:(fun p -> Prng.bernoulli rng p)
+
+(* Horvitz–Thompson weight q / (1 - (1 - q)^n) from log q, stable for
+   astronomically small q (limit 1/n). *)
+let ht_weight ~logq ~n =
+  let nf = float_of_int n in
+  if logq < -600. then 1. /. nf
+  else
+    let q = Float.exp logq in
+    if q >= 1. then 1.
+    else
+      let pi = -.Float.expm1 (nf *. Float.log1p (-.q)) in
+      if pi <= 0. then 1. /. nf else q /. pi
+
+(* Within-node reliability estimate from [n >= 1] descents. *)
+let node_r_hat ctx cfg dsu rng ~pos st ~n =
+  match cfg.estimator with
+  | Monte_carlo ->
+    let hits = ref 0 in
+    for _ = 1 to n do
+      let connected, _, _ = descend_detailed ctx dsu rng ~detail:false ~pos st in
+      if connected then incr hits
+    done;
+    float_of_int !hits /. float_of_int n
+  | Horvitz_thompson ->
+    let seen : (int, float * bool) Hashtbl.t = Hashtbl.create n in
+    for _ = 1 to n do
+      let connected, h, logq = descend_detailed ctx dsu rng ~detail:true ~pos st in
+      if not (Hashtbl.mem seen h) then Hashtbl.add seen h (logq, connected)
+    done;
+    Hashtbl.fold
+      (fun _ (logq, connected) acc ->
+        if connected then acc +. ht_weight ~logq ~n else acc)
+      seen 0.
+
+(* Sampling procedure for one deleted (or leftover) node. Nodes with a
+   meaningful share of the budget use the textbook stratified estimator
+   (deterministic allocation, contribution [p_n * R^_n]); the long tail
+   of tiny nodes uses randomised rounding with contribution
+   [(N_n / s') * R^_n], whose expectation telescopes to [p_n * R_n]
+   even when [N_n = 0]. Both branches are exactly unbiased; the first
+   avoids the allocation (rounding) variance where it would matter. *)
+let sample_node ctx cfg dsu rng ~s_cur ~pos st pn =
+  let s_eff = max 1 s_cur in
+  let x = float_of_int s_eff *. Xprob.to_float_approx pn in
+  if x >= 0.5 then begin
+    let n = max 1 (int_of_float (Float.round x)) in
+    let r_hat = node_r_hat ctx cfg dsu rng ~pos st ~n in
+    (Xprob.to_float_approx pn *. r_hat, n)
+  end
+  else begin
+    let n = alloc rng x in
+    if n = 0 then (0., 0)
+    else
+      let r_hat = node_r_hat ctx cfg dsu rng ~pos st ~n in
+      (float_of_int n /. float_of_int s_eff *. r_hat, n)
+  end
+
+(* [`Auto] orders edges by multi-source BFS from the terminals: each
+   terminal's incident edges are decided as early as possible, which is
+   what lets [pc]/[pd] accumulate quickly (and hence Theorem 1 cut the
+   sample budget). *)
+let resolve_order cfg g ~terminals =
+  match cfg.order with
+  | `Auto -> O.order_edges (O.Bfs_from terminals) g
+  | `Strategy s -> O.order_edges s g
+  | `Explicit o -> o
+
+let estimate ?(config = default_config) g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  let cfg = config in
+  if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
+  if cfg.width <= 0 then invalid_arg "S2bdd.estimate: width <= 0";
+  if List.length terminals < 2 then trivial_result cfg 1.
+  else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then
+    trivial_result cfg 0.
+  else if
+    not
+      (Graphalgo.Connectivity.terminals_connected g
+         ~present:(Array.make (Ugraph.n_edges g) true)
+         terminals)
+  then trivial_result cfg 0.
+  else begin
+    let order = resolve_order cfg g ~terminals in
+    let ctx = F.make g ~order ~terminals in
+    let rng = Prng.create cfg.seed in
+    let dsu = Dsu.create (2 * Ugraph.n_vertices g) in
+    let m = F.n_positions ctx in
+    let key_fn = if cfg.merge_flags then F.key_flags else F.key_exact in
+    let pc = ref Xprob.zero and pd = ref Xprob.zero in
+    let contribution = ref 0. in
+    let s_cur = ref cfg.samples in
+    let samples_drawn = ref 0 in
+    let sampled_nodes = ref 0 in
+    let deleted_nodes = ref 0 in
+    let max_width = ref 1 in
+    let peak_state_words = ref 0 in
+    let stagnant = ref 0 in
+    let stop = ref Completed in
+    let work = ref 0 in
+    let deleted_mass = ref Xprob.zero in
+    let update_s_cur () =
+      s_cur :=
+        Samplesize.reduced ~s:cfg.samples
+          ~pc:(Xprob.to_float_approx !pc)
+          ~pd:(Xprob.to_float_approx !pd)
+    in
+    let consume_node ~pos st pn =
+      let c, n = sample_node ctx cfg dsu rng ~s_cur:!s_cur ~pos st pn in
+      contribution := !contribution +. c;
+      samples_drawn := !samples_drawn + n;
+      if n > 0 then incr sampled_nodes
+    in
+    let current = ref (F.Key_table.create 16) in
+    F.Key_table.replace !current (key_fn F.initial) (F.initial, ref Xprob.one);
+    (* Remaining-degree table, decremented as each edge is processed so
+       the deletion heuristic reads d values in O(state size). *)
+    let rem = Array.init (Ugraph.n_vertices g) (Ugraph.degree g) in
+    let pos = ref 0 in
+    while !stop = Completed && !pos < m && F.Key_table.length !current > 0 do
+      let e = F.edge_at ctx !pos in
+      let resolved_before =
+        Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
+      in
+      let next = F.Key_table.create (2 * F.Key_table.length !current) in
+      let expand key (st, pn) =
+        work := !work + (2 * (4 + Array.length key));
+        let branch exists weight =
+          if weight > 0. then begin
+            let p' = Xprob.scale weight !pn in
+            match F.step ctx ~eager:cfg.eager ~pos:!pos st ~exists with
+            | F.Sink1 -> pc := Xprob.add !pc p'
+            | F.Sink0 -> pd := Xprob.add !pd p'
+            | F.Live st' -> (
+              let key = key_fn st' in
+              match F.Key_table.find_opt next key with
+              | Some (_, acc) -> acc := Xprob.add !acc p'
+              | None -> F.Key_table.replace next key (st', ref p'))
+          end
+        in
+        branch true e.Ugraph.p;
+        branch false (1. -. e.Ugraph.p)
+      in
+      F.Key_table.iter expand !current;
+      rem.(e.Ugraph.u) <- rem.(e.Ugraph.u) - 1;
+      if e.Ugraph.v <> e.Ugraph.u then rem.(e.Ugraph.v) <- rem.(e.Ugraph.v) - 1;
+      let width = F.Key_table.length next in
+      if width > !max_width then max_width := width;
+      update_s_cur ();
+      (* Deleting procedure: keep the top-w nodes by priority, sample
+         the rest right away (their states are discarded after). *)
+      let saturated = width > cfg.width in
+      if saturated then begin
+        let nodes = Array.make width (F.initial, Xprob.zero, 0.) in
+        let i = ref 0 in
+        F.Key_table.iter
+          (fun _ (st, pn) ->
+            let prio =
+              match cfg.heuristic with
+              | Paper_heuristic ->
+                F.heuristic_log2 ctx ~rem st ~log2_pn:(Xprob.log2 !pn)
+              | Random_deletion -> Prng.float rng
+            in
+            nodes.(!i) <- (st, !pn, prio);
+            incr i)
+          next;
+        Array.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) nodes;
+        F.Key_table.reset next;
+        for j = 0 to cfg.width - 1 do
+          let st, pn, _ = nodes.(j) in
+          F.Key_table.replace next (key_fn st) (st, ref pn)
+        done;
+        for j = cfg.width to width - 1 do
+          let st, pn, _ = nodes.(j) in
+          incr deleted_nodes;
+          deleted_mass := Xprob.add !deleted_mass pn;
+          consume_node ~pos:(!pos + 1) st pn
+        done
+      end;
+      let layer_words =
+        F.Key_table.fold
+          (fun key _ acc -> acc + Array.length key + 8)
+          next 0
+      in
+      if layer_words > !peak_state_words then peak_state_words := layer_words;
+      current := next;
+      incr pos;
+      (* Stagnation abort: saturated layers that no longer move the
+         bounds mean further construction cannot pay for itself. *)
+      let resolved_after =
+        Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
+      in
+      let gain = resolved_after -. resolved_before in
+      if saturated && gain < cfg.min_progress *. (1. -. resolved_before) then begin
+        incr stagnant;
+        if !stagnant >= cfg.patience then stop := Stagnated
+      end
+      else stagnant := 0;
+      (* Hard cap on construction effort: wide-frontier graphs whose
+         bounds keep crawling would otherwise dominate the run without
+         paying for themselves (the remaining mass falls back to
+         stratified sampling, which stays unbiased). *)
+      if !work > cfg.max_work then stop := Work_capped;
+      (* Convergence: when the live mass still undecided would receive
+         less than one descent under the current Theorem-1 budget,
+         further layers cannot reduce the sampling cost any more. Only
+         applies once deletion has made the run inexact anyway —
+         otherwise finishing yields the exact answer. *)
+      if !stop = Completed && !deleted_nodes > 0 && F.Key_table.length !current > 0
+      then begin
+        let live =
+          F.Key_table.fold (fun _ (_, pn) acc -> Xprob.add acc !pn) !current
+            Xprob.zero
+        in
+        if
+          float_of_int (max 1 !s_cur) *. Xprob.to_float_approx live < 1.0
+        then stop := Converged
+      end
+    done;
+    update_s_cur ();
+    Log.debug (fun fmt ->
+        fmt "construction %s after %d/%d layers: pc=%s pd=%s s'=%d deleted=%d"
+          (stop_reason_name !stop) !pos m (Xprob.to_string !pc)
+          (Xprob.to_string !pd) !s_cur !deleted_nodes);
+    (* Leftover live nodes (early abort): each becomes its own sampling
+       stratum, exactly like a deleted node. *)
+    if F.Key_table.length !current > 0 then begin
+      if !pos >= m then
+        invalid_arg "S2bdd.estimate: live states after the final layer";
+      F.Key_table.iter (fun _ (st, pn) -> consume_node ~pos:!pos st !pn) !current
+    end;
+    let lower = Xprob.to_float_approx !pc in
+    let upper = 1. -. Xprob.to_float_approx !pd in
+    let exact = !deleted_nodes = 0 && !stop = Completed in
+    let value = if exact then lower else lower +. !contribution in
+    {
+      value;
+      lower;
+      upper;
+      pc = !pc;
+      pd = !pd;
+      exact;
+      s_given = cfg.samples;
+      s_reduced = !s_cur;
+      samples_drawn = !samples_drawn;
+      sampled_nodes = !sampled_nodes;
+      deleted_nodes = !deleted_nodes;
+      layers_built = !pos;
+      max_width = !max_width;
+      peak_state_words = !peak_state_words;
+      aborted = !stop <> Completed;
+      stop = !stop;
+    }
+  end

@@ -1,0 +1,106 @@
+(** The scalable and sampling BDD (S2BDD) — Section 4 of the paper.
+
+    The S2BDD keeps a single BDD layer plus the two sinks. Each layer is
+    built from the previous by the four procedures of Section 4.3:
+
+    - {e generating}: both edge decisions are expanded for every node,
+      with the early connect/disconnect conditions of Lemmas 4.1–4.2
+      routing mass to the sinks ([pc] and [pd]) as soon as possible;
+    - {e merging}: nodes whose component partition and per-component
+      terminal {e flags} coincide are merged (Lemma 4.3) — coarser than
+      the classical exact-count merge, and still exact;
+    - {e deleting}: when a layer exceeds the width cap [w], the
+      lowest-priority nodes under the heuristic
+      [h(n) = p_n * max_f (t_{n,f}/k, 1/d_{n,f})] (Equation 10) are
+      deleted;
+    - {e sampling}: deleted nodes are sampled immediately by
+      dynamic-programming descent (the node's frontier state is a
+      sufficient statistic, so possible graphs are completed by flipping
+      only the remaining edges), with per-node allocations
+      [~ s' * p_n] under randomised rounding.
+
+    The estimator is exactly unbiased: a node deleted when the current
+    reduced budget was [s'] contributes
+    [(N_n / s'_n) * R^_n] with [E[N_n] = s'_n * p_n], so the expectation
+    telescopes to the true residual mass regardless of when nodes were
+    deleted or how [s'] evolved. [R^_n] is the within-node Monte Carlo
+    mean or Horvitz–Thompson sum, per {!estimator}.
+
+    When the construction finishes with no deletions, the result is the
+    {e exact} reliability ([exact = true]), which plain sampling can
+    never deliver. *)
+
+val log_src : Logs.src
+(** Logs source ["netrel.s2bdd"]: construction progress at debug
+    level. *)
+
+type estimator =
+  | Monte_carlo
+  | Horvitz_thompson
+
+type deletion_heuristic =
+  | Paper_heuristic  (** Equation (10) priorities *)
+  | Random_deletion  (** ablation: delete uniformly at random *)
+
+type config = {
+  samples : int;       (** the plain-sampling budget [s] being matched *)
+  width : int;         (** maximum layer width [w] *)
+  estimator : estimator;
+  seed : int;
+  order : [ `Auto | `Strategy of Graphalgo.Ordering.strategy | `Explicit of int array ];
+  eager : bool;        (** Lemmas 4.1–4.2 extended early sinking *)
+  merge_flags : bool;  (** Lemma 4.3 flag-based merging (exact-count merge when false) *)
+  heuristic : deletion_heuristic;
+  patience : int;
+      (** abort construction after this many consecutive width-saturated
+          layers with negligible bound progress *)
+  min_progress : float;
+      (** relative [pc + pd] growth under which a saturated layer counts
+          as stagnant *)
+  max_work : int;
+      (** hard cap on construction effort (cumulative node-state
+          operations); past it the remaining mass falls back to the
+          unbiased stratified sampler *)
+}
+
+val default_config : config
+(** [samples = 10_000], [width = 10_000], Monte Carlo, seed 1, [`Auto]
+    order, eager sinking, flag merging, paper heuristic, patience 50,
+    min_progress 1e-5, max_work 8e7. *)
+
+type stop_reason =
+  | Completed    (** every layer processed *)
+  | Converged
+      (** residual live mass would receive under one descent: bounds are
+          as tight as the budget can use *)
+  | Stagnated    (** saturated layers stopped improving the bounds *)
+  | Work_capped  (** construction effort budget exhausted *)
+
+val stop_reason_name : stop_reason -> string
+
+type result = {
+  value : float;        (** estimated (or exact) reliability *)
+  lower : float;        (** [pc]: proven lower bound *)
+  upper : float;        (** [1 - pd]: proven upper bound *)
+  pc : Xprob.t;
+  pd : Xprob.t;
+  exact : bool;         (** no mass was left to sampling *)
+  s_given : int;
+  s_reduced : int;      (** final Theorem-1 budget [s'] *)
+  samples_drawn : int;  (** descents actually performed *)
+  sampled_nodes : int;  (** deleted/leftover nodes that received samples *)
+  deleted_nodes : int;
+  layers_built : int;
+  max_width : int;      (** widest layer constructed (post-merge) *)
+  peak_state_words : int;
+      (** resident S2BDD memory proxy: the largest total state-word
+          footprint of any single layer (the S2BDD keeps one layer) *)
+  aborted : bool;       (** construction stopped before the final layer *)
+  stop : stop_reason;
+}
+
+val estimate : ?config:config -> Ugraph.t -> terminals:int list -> result
+(** Estimate [R[G, T]] with an S2BDD over the graph as given (no
+    extension technique; see {!Reliability.estimate} for the full
+    Algorithm 1). Handles [k < 2] and topologically separated terminals
+    without construction. *)

@@ -1,0 +1,15 @@
+(** Sample-size reduction from reliability bounds — Theorems 1 and 2.
+
+    Given a plain-sampling budget of [s] samples and the proven bounds
+    [pc <= R <= 1 - pd], stratified sampling achieves a variance no
+    larger than plain sampling's with only [s'] samples, where [s'] is
+    given by the five-case formula of Theorem 1 (the same [s'] applies
+    to the Horvitz–Thompson estimator by Theorem 2). *)
+
+val reduced : s:int -> pc:float -> pd:float -> int
+(** [reduced ~s ~pc ~pd] is [s'], clamped into [[0, s]].
+    @raise Invalid_argument unless [0 <= pc], [0 <= pd] and
+    [pc + pd <= 1] (up to rounding slack). *)
+
+val reduction_factor : pc:float -> pd:float -> float
+(** [s' / s] in the limit — the quantity plotted in Figure 4(b). *)

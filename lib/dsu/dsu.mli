@@ -1,0 +1,36 @@
+(** Union–find (disjoint set union) over the integers [[0, n)].
+
+    Uses path halving and union by rank: effectively O(alpha(n)) per
+    operation.  The structure is mutable; {!reset} restores the initial
+    all-singletons state in O(n), which lets the Monte-Carlo samplers
+    reuse one allocation across hundreds of thousands of samples. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets [{0}, ..., {n-1}].
+    @raise Invalid_argument if [n < 0]. *)
+
+val size : t -> int
+(** Number of elements (not sets). *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [true] iff they were previously distinct. *)
+
+val connected : t -> int -> int -> bool
+
+val component_size : t -> int -> int
+(** Number of elements in the element's set. *)
+
+val count_sets : t -> int
+(** Current number of disjoint sets. O(1). *)
+
+val reset : t -> unit
+(** Restore every element to its own singleton set. *)
+
+val all_connected : t -> int list -> bool
+(** [all_connected t vs] is [true] iff all of [vs] lie in one set
+    (vacuously true for [[]] and singletons). *)

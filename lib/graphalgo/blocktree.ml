@@ -1,0 +1,121 @@
+type t = {
+  comp_of_vertex : int array;
+  n_comps : int;
+  adj : (int * int) list array;
+  terminal_count : int array;
+}
+
+let build g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  let comp_of_vertex, n_comps = Bridges.two_edge_components g in
+  let is_bridge = Bridges.bridges g in
+  let adj = Array.make n_comps [] in
+  Ugraph.iter_edges
+    (fun eid (e : Ugraph.edge) ->
+      if is_bridge.(eid) then begin
+        let cu = comp_of_vertex.(e.u) and cv = comp_of_vertex.(e.v) in
+        adj.(cu) <- (cv, eid) :: adj.(cu);
+        adj.(cv) <- (cu, eid) :: adj.(cv)
+      end)
+    g;
+  let terminal_count = Array.make n_comps 0 in
+  List.iter
+    (fun t ->
+      let c = comp_of_vertex.(t) in
+      terminal_count.(c) <- terminal_count.(c) + 1)
+    terminals;
+  { comp_of_vertex; n_comps; adj; terminal_count }
+
+(* Supernode components of the contracted forest. *)
+let forest_components bt =
+  let comp = Array.make bt.n_comps (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to bt.n_comps - 1 do
+    if comp.(start) < 0 then begin
+      let id = !count in
+      incr count;
+      comp.(start) <- id;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let c = Queue.pop queue in
+        List.iter
+          (fun (c', _) ->
+            if comp.(c') < 0 then begin
+              comp.(c') <- id;
+              Queue.add c' queue
+            end)
+          bt.adj.(c)
+      done
+    end
+  done;
+  (comp, !count)
+
+let terminals_separated bt =
+  let comp, _ = forest_components bt in
+  let terminal_comp = ref (-1) in
+  let separated = ref false in
+  Array.iteri
+    (fun c cnt ->
+      if cnt > 0 then
+        if !terminal_comp < 0 then terminal_comp := comp.(c)
+        else if comp.(c) <> !terminal_comp then separated := true)
+    bt.terminal_count;
+  !separated
+
+let steiner_keep bt =
+  if terminals_separated bt then Array.make bt.n_comps false
+  else begin
+    let keep = Array.make bt.n_comps false in
+    let tree_comp, _ = forest_components bt in
+    (* Restrict to the tree containing the terminals. *)
+    let terminal_tree = ref (-1) in
+    Array.iteri
+      (fun c cnt -> if cnt > 0 && !terminal_tree < 0 then terminal_tree := tree_comp.(c))
+      bt.terminal_count;
+    (match !terminal_tree with
+    | -1 -> () (* no terminals: callers prevent this via build's validation *)
+    | tt ->
+      Array.iteri (fun c tc -> keep.(c) <- tc = tt) tree_comp;
+      (* Iteratively strip terminal-free leaves of the kept tree. *)
+      let live_degree = Array.make bt.n_comps 0 in
+      Array.iteri
+        (fun c neighbours ->
+          if keep.(c) then
+            live_degree.(c) <-
+              List.length (List.filter (fun (c', _) -> keep.(c')) neighbours))
+        bt.adj;
+      let queue = Queue.create () in
+      Array.iteri
+        (fun c _ ->
+          if keep.(c) && live_degree.(c) <= 1 && bt.terminal_count.(c) = 0 then
+            Queue.add c queue)
+        bt.adj;
+      while not (Queue.is_empty queue) do
+        let c = Queue.pop queue in
+        if keep.(c) && live_degree.(c) <= 1 && bt.terminal_count.(c) = 0 then begin
+          keep.(c) <- false;
+          List.iter
+            (fun (c', _) ->
+              if keep.(c') then begin
+                live_degree.(c') <- live_degree.(c') - 1;
+                if live_degree.(c') <= 1 && bt.terminal_count.(c') = 0 then
+                  Queue.add c' queue
+              end)
+            bt.adj.(c)
+        end
+      done);
+    keep
+  end
+
+let kept_vertices bt keep =
+  Array.map (fun c -> keep.(c)) bt.comp_of_vertex
+
+let kept_bridges bt keep =
+  let out = Hashtbl.create 64 in
+  Array.iteri
+    (fun c neighbours ->
+      if keep.(c) then
+        List.iter (fun (c', eid) -> if keep.(c') then Hashtbl.replace out eid ()) neighbours)
+    bt.adj;
+  out

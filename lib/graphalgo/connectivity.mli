@@ -1,0 +1,27 @@
+(** Deterministic connectivity over the topology of an uncertain graph
+    (edge probabilities ignored, or restricted to a sampled edge subset). *)
+
+val reachable_from : Ugraph.t -> int -> bool array
+(** Vertices reachable from a start vertex via any edge (iterative BFS). *)
+
+val is_connected : Ugraph.t -> bool
+(** Whether the whole graph is one component. Graphs with fewer than two
+    vertices are connected. *)
+
+val components : Ugraph.t -> int array * int
+(** [(comp, count)] where [comp.(v)] is a component identifier in
+    [[0, count)]; identifiers are assigned in increasing order of the
+    smallest vertex of each component. *)
+
+val terminals_connected : Ugraph.t -> present:bool array -> int list -> bool
+(** [terminals_connected g ~present ts] decides whether all terminals are
+    connected using only edges [e] with [present.(e) = true] — the
+    indicator [I(Gp, T)] of Definition 1 for a sampled possible graph.
+    Runs one BFS from the first terminal, restricted to present edges.
+    @raise Invalid_argument if [present] has the wrong length or [ts] is
+    empty. *)
+
+val terminals_connected_dsu : Dsu.t -> Ugraph.t -> present:bool array -> int list -> bool
+(** Same as {!terminals_connected} but accumulates into a caller-provided
+    union–find (resetting it first), so repeated sampling reuses one
+    allocation. The DSU must have size [n_vertices g]. *)

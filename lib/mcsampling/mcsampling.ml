@@ -1,0 +1,122 @@
+type estimate = {
+  value : float;
+  samples_used : int;
+  hits : int;
+  distinct : int;
+  variance_estimate : float;
+}
+
+let validate g ~terminals ~samples =
+  Ugraph.validate_terminals g terminals;
+  if samples <= 0 then invalid_arg "Mcsampling: samples <= 0"
+
+let trivial_estimate value samples =
+  { value; samples_used = samples; hits = (if value > 0. then samples else 0);
+    distinct = 1; variance_estimate = 0. }
+
+(* Draw one possible graph into [present]; returns its probability. *)
+let draw_sample rng g present =
+  let prob = ref Xprob.one in
+  Ugraph.iter_edges
+    (fun eid (e : Ugraph.edge) ->
+      if Prng.bernoulli rng e.p then begin
+        present.(eid) <- true;
+        prob := Xprob.scale e.p !prob
+      end
+      else begin
+        present.(eid) <- false;
+        prob := Xprob.scale (1. -. e.p) !prob
+      end)
+    g;
+  !prob
+
+let monte_carlo ?(seed = 1) g ~terminals ~samples =
+  validate g ~terminals ~samples;
+  if List.length terminals < 2 then trivial_estimate 1. samples
+  else begin
+    let rng = Prng.create seed in
+    let m = Ugraph.n_edges g in
+    let present = Array.make m false in
+    let dsu = Dsu.create (Ugraph.n_vertices g) in
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      Ugraph.iter_edges
+        (fun eid (e : Ugraph.edge) -> present.(eid) <- Prng.bernoulli rng e.p)
+        g;
+      if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present terminals
+      then incr hits
+    done;
+    let value = float_of_int !hits /. float_of_int samples in
+    {
+      value;
+      samples_used = samples;
+      hits = !hits;
+      distinct = samples;
+      variance_estimate = value *. (1. -. value) /. float_of_int samples;
+    }
+  end
+
+(* pi_i = 1 - (1 - q)^s, and the HT weight q / pi_i, computed stably.
+   For q below float range the weight tends to 1/s. *)
+let ht_weight q_x s =
+  let s_f = float_of_int s in
+  let q = Xprob.to_float_approx q_x in
+  if q <= 0. || q < 1e-280 then 1. /. s_f
+  else
+    let pi = -.Float.expm1 (s_f *. Float.log1p (-.q)) in
+    if pi <= 0. then 1. /. s_f else q /. pi
+
+let horvitz_thompson ?(seed = 1) g ~terminals ~samples =
+  validate g ~terminals ~samples;
+  if List.length terminals < 2 then trivial_estimate 1. samples
+  else begin
+    let rng = Prng.create seed in
+    let m = Ugraph.n_edges g in
+    let present = Array.make m false in
+    let dsu = Dsu.create (Ugraph.n_vertices g) in
+    (* Distinct samples keyed by a 63-bit content hash of the edge mask. *)
+    let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create samples in
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      let prob = draw_sample rng g present in
+      (* FNV-1a over the mask bits. *)
+      let h = ref 0x811C9DC5 in
+      for eid = 0 to m - 1 do
+        let bit = if present.(eid) then 0x9E37 else 0x79B9 in
+        h := (!h lxor (bit + eid)) * 0x01000193 land max_int
+      done;
+      if not (Hashtbl.mem seen !h) then begin
+        let connected =
+          Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present terminals
+        in
+        if connected then incr hits;
+        Hashtbl.add seen !h (prob, connected)
+      end
+    done;
+    let value =
+      Hashtbl.fold
+        (fun _ (q, connected) acc ->
+          if connected then acc +. ht_weight q samples else acc)
+        seen 0.
+    in
+    (* Plug-in variance, Equation (8): the first term uses the estimate,
+       the correction subtracts the squared sample probabilities of
+       connected samples. *)
+    let s_f = float_of_int samples in
+    let correction =
+      Hashtbl.fold
+        (fun _ (q, connected) acc ->
+          if connected then
+            acc +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
+          else acc)
+        seen 0.
+    in
+    let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
+    {
+      value;
+      samples_used = samples;
+      hits = !hits;
+      distinct = Hashtbl.length seen;
+      variance_estimate = Float.max 0. v;
+    }
+  end

@@ -1,0 +1,32 @@
+(** The existing sampling-based baselines of Section 3.2.2: naive Monte
+    Carlo ("Sampling(MC)") and Horvitz–Thompson ("Sampling(HT)", the
+    unequal-probability estimator of Jin et al. used by the paper).
+
+    Both sample [s] possible graphs by flipping every edge independently
+    and testing terminal connectivity with a reused union–find —
+    [O(s * (|V| + |E|))], the complexity quoted in the paper. *)
+
+type estimate = {
+  value : float;          (** estimated network reliability *)
+  samples_used : int;
+  hits : int;             (** samples in which the terminals connect *)
+  distinct : int;
+      (** distinct possible graphs among the samples (HT only;
+          equals [samples_used] for MC) *)
+  variance_estimate : float;
+      (** plug-in variance: Equation (2) for MC, Equation (8) for HT *)
+}
+
+val monte_carlo :
+  ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+(** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)].
+    @raise Invalid_argument on invalid terminals or [samples <= 0]. *)
+
+val horvitz_thompson :
+  ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+(** Horvitz–Thompson over the distinct sampled possible graphs:
+    [R^ = sum_i I * Pr[Gp_i] / pi_i] with
+    [pi_i = 1 - (1 - Pr[Gp_i])^s]. Sampled graphs are deduplicated by a
+    63-bit content hash of the edge mask (collisions are negligible and
+    only perturb, never bias systematically, the estimate).
+    @raise Invalid_argument as for {!monte_carlo}. *)

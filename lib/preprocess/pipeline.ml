@@ -1,0 +1,148 @@
+module BT = Graphalgo.Blocktree
+
+type subproblem = {
+  graph : Ugraph.t;
+  terminals : int list;
+}
+
+type stats = {
+  original_vertices : int;
+  original_edges : int;
+  pruned_vertices : int;
+  pruned_edges : int;
+  n_bridges : int;
+  n_subproblems : int;
+  final_edges : int;
+  max_subproblem_edges : int;
+  transform_rounds : int;
+}
+
+type outcome =
+  | Trivial of Xprob.t
+  | Reduced of {
+      pb : Xprob.t;
+      subproblems : subproblem list;
+      stats : stats;
+    }
+
+let reduction_ratio st =
+  if st.original_edges = 0 then 0.
+  else float_of_int st.max_subproblem_edges /. float_of_int st.original_edges
+
+(* Decompose a pruned graph at its bridges. Bridge endpoints become
+   mandatory terminals of their side (Lemma 5.1). Returns the bridge
+   probability product and one subproblem per bridge-free component
+   that retains at least two terminals. *)
+let decompose pruned terminals =
+  let is_bridge = Graphalgo.Bridges.bridges pruned in
+  let n = Ugraph.n_vertices pruned in
+  let pb = ref Xprob.one in
+  let n_bridges = ref 0 in
+  let must_connect = Array.make n false in
+  List.iter (fun t -> must_connect.(t) <- true) terminals;
+  Ugraph.iter_edges
+    (fun eid (e : Ugraph.edge) ->
+      if is_bridge.(eid) then begin
+        incr n_bridges;
+        pb := Xprob.mul !pb (Xprob.of_float e.p);
+        must_connect.(e.u) <- true;
+        must_connect.(e.v) <- true
+      end)
+    pruned;
+  (* Components of the bridge-free remainder. *)
+  let dsu = Dsu.create n in
+  Ugraph.iter_edges
+    (fun eid (e : Ugraph.edge) ->
+      if not is_bridge.(eid) then ignore (Dsu.union dsu e.u e.v))
+    pruned;
+  let members = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    let r = Dsu.find dsu v in
+    Hashtbl.replace members r (v :: (Option.value ~default:[] (Hashtbl.find_opt members r)))
+  done;
+  let subs =
+    Hashtbl.fold
+      (fun _root vs acc ->
+        let ts = List.filter (fun v -> must_connect.(v)) vs in
+        if List.length ts < 2 then acc
+        else begin
+          let vs_arr = Array.of_list vs in
+          let sub, old_of_new = Ugraph.induced pruned vs_arr in
+          let ts = Ugraph.relabel_terminals ~old_of_new ts in
+          { graph = sub; terminals = ts } :: acc
+        end)
+      members []
+  in
+  (!pb, !n_bridges, subs)
+
+let run g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  if List.length terminals < 2 then Trivial Xprob.one
+  else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then
+    Trivial Xprob.zero
+  else begin
+    let bt = BT.build g ~terminals in
+    if BT.terminals_separated bt then Trivial Xprob.zero
+    else begin
+      (* Prune: restrict to the Steiner subtree of the block tree. *)
+      let keep_comps = BT.steiner_keep bt in
+      let keep_vertex = BT.kept_vertices bt keep_comps in
+      let kept =
+        Array.of_list
+          (List.filter (fun v -> keep_vertex.(v))
+             (List.init (Ugraph.n_vertices g) Fun.id))
+      in
+      let pruned, old_of_new = Ugraph.induced g kept in
+      let terminals' = Ugraph.relabel_terminals ~old_of_new terminals in
+      (* Decompose at the surviving bridges. *)
+      let pb, n_bridges, raw_subs = decompose pruned terminals' in
+      (* Transform each subproblem. *)
+      let rounds = ref 0 in
+      let subproblems =
+        List.filter_map
+          (fun sp ->
+            let tr = Transform.run sp.graph ~terminals:sp.terminals in
+            rounds := !rounds + tr.Transform.rounds;
+            if List.length tr.Transform.terminals < 2 then None
+            else
+              Some { graph = tr.Transform.graph; terminals = tr.Transform.terminals })
+          raw_subs
+      in
+      (* A transform can only isolate a terminal if it was never
+         connectable; the Steiner prune precludes that, but check. *)
+      let zero =
+        List.exists
+          (fun sp ->
+            List.exists (fun t -> Ugraph.degree sp.graph t = 0) sp.terminals
+            ||
+            let present = Array.make (Ugraph.n_edges sp.graph) true in
+            not
+              (Graphalgo.Connectivity.terminals_connected sp.graph ~present
+                 sp.terminals))
+          subproblems
+      in
+      if zero then Trivial Xprob.zero
+      else begin
+        let final_edges =
+          List.fold_left (fun acc sp -> acc + Ugraph.n_edges sp.graph) 0 subproblems
+        in
+        let max_sub =
+          List.fold_left (fun acc sp -> max acc (Ugraph.n_edges sp.graph)) 0 subproblems
+        in
+        let stats =
+          {
+            original_vertices = Ugraph.n_vertices g;
+            original_edges = Ugraph.n_edges g;
+            pruned_vertices = Ugraph.n_vertices pruned;
+            pruned_edges = Ugraph.n_edges pruned;
+            n_bridges;
+            n_subproblems = List.length subproblems;
+            final_edges;
+            max_subproblem_edges = max_sub;
+            transform_rounds = !rounds;
+          }
+        in
+        Reduced { pb; subproblems; stats }
+      end
+    end
+  end

@@ -1,0 +1,45 @@
+(** The full extension technique (Algorithm 3): prune, decompose,
+    transform.
+
+    Given [(G, T)], produces [pb] and subproblems [(G_i, T_i)] with
+    [R[G, T] = pb * prod_i R[G_i, T_i]] (Lemma 5.1), where every [G_i]
+    is no larger — usually far smaller — than [G]. Each [T_i] contains
+    the original terminals falling in [G_i] plus the endpoints of
+    decomposed bridges, which must be connected for the terminals to
+    be. *)
+
+type subproblem = {
+  graph : Ugraph.t;
+  terminals : int list;  (** at least two, in [graph]'s numbering *)
+}
+
+type stats = {
+  original_vertices : int;
+  original_edges : int;
+  pruned_vertices : int;
+  pruned_edges : int;    (** after the Steiner prune, before decompose *)
+  n_bridges : int;       (** decomposed bridges (kept ones) *)
+  n_subproblems : int;
+  final_edges : int;     (** summed over subproblems *)
+  max_subproblem_edges : int;
+      (** the paper's Table 5 "reduced graph size" numerator *)
+  transform_rounds : int;
+}
+
+type outcome =
+  | Trivial of Xprob.t
+      (** reliability resolved outright: 1 (fewer than two terminals) or
+          0 (terminals topologically separated) *)
+  | Reduced of {
+      pb : Xprob.t;  (** product of decomposed bridge probabilities *)
+      subproblems : subproblem list;
+      stats : stats;
+    }
+
+val run : Ugraph.t -> terminals:int list -> outcome
+(** @raise Invalid_argument on an invalid terminal set (empty terminal
+    sets are invalid; use the graph itself for k = 0 semantics). *)
+
+val reduction_ratio : stats -> float
+(** [max_subproblem_edges / original_edges] — the paper's Table 5
+    metric (lower is better). *)

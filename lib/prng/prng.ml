@@ -1,0 +1,132 @@
+(* xoshiro256** seeded via SplitMix64, on int64. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 step: used only for seeding and for [split]. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  (* xoshiro requires a non-zero state; SplitMix64 output of any seed is
+     astronomically unlikely to be all zero, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed64 (bits64 g)
+
+let float g =
+  (* Top 53 bits -> [0,1). *)
+  let x = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0"
+  else if bound = 1 then 0
+  else begin
+    (* Rejection sampling on the top bits for an unbiased draw. *)
+    let bound64 = Int64.of_int bound in
+    let rec loop () =
+      let r = Int64.shift_right_logical (bits64 g) 1 in
+      let v = Int64.rem r bound64 in
+      if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then loop ()
+      else Int64.to_int v
+    in
+    loop ()
+  end
+
+let bool g = Int64.compare (bits64 g) 0L < 0
+let bernoulli g p = if p >= 1. then true else if p <= 0. then false else float g < p
+let uniform g lo hi = lo +. ((hi -. lo) *. float g)
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array"
+  else arr.(int g (Array.length arr))
+
+let weighted_index g ws =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0. || Float.is_nan w then invalid_arg "Prng.weighted_index: negative weight"
+      else acc +. w) 0. ws
+  in
+  if total <= 0. then invalid_arg "Prng.weighted_index: zero total weight";
+  let target = float g *. total in
+  let n = Array.length ws in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. ws.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  (* Skip any zero-weight suffix that the scan's fallback might hit. *)
+  let i = scan 0 0. in
+  if ws.(i) > 0. then i
+  else
+    let rec back j = if ws.(j) > 0. then j else back (j - 1) in
+    back i
+
+module Alias = struct
+  type table = { prob : float array; alias : int array }
+
+  let size t = Array.length t.prob
+
+  let build ws =
+    let n = Array.length ws in
+    if n = 0 then invalid_arg "Prng.Alias.build: empty weights";
+    let total = Array.fold_left (fun acc w ->
+        if w < 0. || Float.is_nan w then invalid_arg "Prng.Alias.build: negative weight"
+        else acc +. w) 0. ws
+    in
+    if total <= 0. then invalid_arg "Prng.Alias.build: zero total weight";
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) ws in
+    let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+    let small = Stack.create () and large = Stack.create () in
+    Array.iteri (fun i p -> Stack.push i (if p < 1. then small else large)) scaled;
+    while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+      let s = Stack.pop small and l = Stack.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      Stack.push l (if scaled.(l) < 1. then small else large)
+    done;
+    (* Leftovers are 1.0 up to rounding; the defaults already cover them. *)
+    { prob; alias }
+
+  let sample g t =
+    let i = int g (Array.length t.prob) in
+    if float g < t.prob.(i) then i else t.alias.(i)
+end

@@ -1,0 +1,69 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every randomised component of the library (samplers, workload
+    generators, probability assignment) draws from this module so that a
+    single integer seed reproduces an entire experiment bit-for-bit.
+
+    The generator is xoshiro256** (Blackman & Vigna), seeded through
+    SplitMix64; both implemented here from scratch on [int64].  States are
+    mutable and not thread-safe; use {!split} to derive independent
+    streams for parallel or structurally separate uses. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed via
+    SplitMix64 expansion. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split g] derives a new generator whose future output is independent
+    of [g]'s (distinct SplitMix64 re-seeding), advancing [g]. *)
+
+val copy : t -> t
+(** Duplicate the current state; both copies then produce the same
+    stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)] with 53 random bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)] (rejection sampling,
+    unbiased). @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p] (clamped to
+    [[0, 1]]). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [[lo, hi)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index g ws] samples index [i] with probability
+    [ws.(i) / sum ws] by linear scan. Weights must be non-negative with a
+    positive sum. @raise Invalid_argument otherwise. *)
+
+module Alias : sig
+  (** Walker alias tables: O(n) build, O(1) weighted sampling, used by
+      the stratified sampler when one stratum is drawn many times. *)
+
+  type table
+
+  val build : float array -> table
+  (** @raise Invalid_argument on negative weights or a non-positive
+      sum. *)
+
+  val sample : t -> table -> int
+  val size : table -> int
+end

@@ -1,0 +1,97 @@
+let check_pair g ~source ~target =
+  let n = Ugraph.n_vertices g in
+  if source < 0 || source >= n || target < 0 || target >= n then
+    invalid_arg "Reach: vertex out of range";
+  if source = target then invalid_arg "Reach: source equals target"
+
+let two_terminal ?config g ~source ~target =
+  check_pair g ~source ~target;
+  Netrel.Reliability.estimate ?config g ~terminals:[ source; target ]
+
+type estimate = {
+  value : float;
+  samples_used : int;
+  hits : int;
+}
+
+let hop_distance g ~present source target =
+  if Array.length present <> Ugraph.n_edges g then
+    invalid_arg "Reach.hop_distance: present array length mismatch";
+  let n = Ugraph.n_vertices g in
+  if source = target then Some 0
+  else begin
+    let dist = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(source) <- 0;
+    Queue.add source queue;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let v = Queue.pop queue in
+         Ugraph.iter_incident g v (fun ~eid ~other ->
+             if present.(eid) && dist.(other) < 0 then begin
+               dist.(other) <- dist.(v) + 1;
+               if other = target then begin
+                 result := Some dist.(other);
+                 raise Exit
+               end;
+               Queue.add other queue
+             end)
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* Depth-bounded BFS: true iff target within [d] hops of source. *)
+let within g ~present ~source ~target ~d =
+  match hop_distance g ~present source target with
+  | Some dist -> dist <= d
+  | None -> false
+
+let distance_constrained_exact g ~source ~target ~d =
+  check_pair g ~source ~target;
+  if d < 0 then invalid_arg "Reach: negative distance bound";
+  let m = Ugraph.n_edges g in
+  if m > Bddbase.Bruteforce.max_edges then
+    invalid_arg
+      (Printf.sprintf "Reach.distance_constrained_exact: %d edges > %d" m
+         Bddbase.Bruteforce.max_edges);
+  let present = Array.make m false in
+  let total = ref 0. in
+  for mask = 0 to (1 lsl m) - 1 do
+    let prob = ref 1. in
+    for i = 0 to m - 1 do
+      let e = Ugraph.edge g i in
+      if mask land (1 lsl i) <> 0 then begin
+        present.(i) <- true;
+        prob := !prob *. e.Ugraph.p
+      end
+      else begin
+        present.(i) <- false;
+        prob := !prob *. (1. -. e.Ugraph.p)
+      end
+    done;
+    if !prob > 0. && within g ~present ~source ~target ~d then
+      total := !total +. !prob
+  done;
+  !total
+
+let distance_constrained_mc ?(seed = 1) g ~source ~target ~d ~samples =
+  check_pair g ~source ~target;
+  if d < 0 then invalid_arg "Reach: negative distance bound";
+  if samples <= 0 then invalid_arg "Reach: samples <= 0";
+  let rng = Prng.create seed in
+  let m = Ugraph.n_edges g in
+  let present = Array.make m false in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    Ugraph.iter_edges
+      (fun eid (e : Ugraph.edge) -> present.(eid) <- Prng.bernoulli rng e.p)
+      g;
+    if within g ~present ~source ~target ~d then incr hits
+  done;
+  {
+    value = float_of_int !hits /. float_of_int samples;
+    samples_used = samples;
+    hits = !hits;
+  }

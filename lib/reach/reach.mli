@@ -1,0 +1,55 @@
+(** Reachability queries on uncertain graphs — the "special type of
+    network reliability" of the paper's related work (Section 2):
+    two-terminal (s–t) reliability, and the distance-constrained
+    reachability of Jin et al. (PVLDB 2011), which asks for the
+    probability that the hop distance between two vertices is at most a
+    threshold.
+
+    Two-terminal reliability delegates to the full S2BDD pipeline (it is
+    k-terminal reliability with k = 2). Distance-constrained queries do
+    not decompose over frontier states the same way, so they are served
+    by an exact enumerator (tiny graphs) and a Monte Carlo estimator
+    with per-sample breadth-first search under a depth budget.
+
+    Distances are hop counts; the original paper supports weighted
+    distances, which reduce to hops after subdividing edges. *)
+
+val two_terminal :
+  ?config:Netrel.S2bdd.config ->
+  Ugraph.t ->
+  source:int ->
+  target:int ->
+  Netrel.Reliability.report
+(** [two_terminal g ~source ~target] is the s–t network reliability with
+    all of Algorithm 1 (extension technique, S2BDD, Theorem-1 sample
+    reduction) applied.
+    @raise Invalid_argument if [source = target] or out of range. *)
+
+type estimate = {
+  value : float;
+  samples_used : int;
+  hits : int;
+}
+
+val distance_constrained_exact :
+  Ugraph.t -> source:int -> target:int -> d:int -> float
+(** Exact [Pr(dist(source, target) <= d)] by enumerating all possible
+    graphs. @raise Invalid_argument beyond
+    {!Bddbase.Bruteforce.max_edges} edges or on invalid arguments. *)
+
+val distance_constrained_mc :
+  ?seed:int ->
+  Ugraph.t ->
+  source:int ->
+  target:int ->
+  d:int ->
+  samples:int ->
+  estimate
+(** Monte Carlo estimate of [Pr(dist(source, target) <= d)]:
+    [samples] possible graphs, each tested with a depth-bounded BFS.
+    @raise Invalid_argument on invalid arguments. *)
+
+val hop_distance : Ugraph.t -> present:bool array -> int -> int -> int option
+(** Hop distance between two vertices using only edges whose entry in
+    [present] is true; [None] when unreachable. Exposed for tests and
+    for building other distance-based analyses. *)

@@ -1,0 +1,81 @@
+let check_shape exact estimates =
+  let q1 = Array.length exact in
+  if q1 = 0 || Array.length estimates <> q1 then
+    invalid_arg "Relstats: exact and estimates shapes differ";
+  Array.iter
+    (fun row -> if Array.length row = 0 then invalid_arg "Relstats: empty repetition row")
+    estimates
+
+let fold_cells f init exact estimates =
+  let acc = ref init and cells = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun est ->
+          incr cells;
+          acc := f !acc exact.(i) est)
+        row)
+    estimates;
+  (!acc, !cells)
+
+let variance ~exact ~estimates =
+  check_shape exact estimates;
+  let total, cells =
+    fold_cells (fun acc r est -> acc +. ((r -. est) ** 2.)) 0. exact estimates
+  in
+  total /. float_of_int cells
+
+let error_rate ~exact ~estimates =
+  check_shape exact estimates;
+  let term r est =
+    if r = 0. then if est = 0. then 0. else 1. else Float.abs (r -. est) /. r
+  in
+  let total, cells = fold_cells (fun acc r est -> acc +. term r est) 0. exact estimates in
+  total /. float_of_int cells
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Relstats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let std_dev xs =
+  let m = mean xs in
+  let v =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+    /. float_of_int (Array.length xs)
+  in
+  sqrt v
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Relstats.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Relstats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let time_median ?(repeats = 3) f =
+  if repeats <= 0 then invalid_arg "Relstats.time_median: repeats <= 0";
+  let last = ref None in
+  let times =
+    Array.init repeats (fun _ ->
+        let x, dt = time f in
+        last := Some x;
+        dt)
+  in
+  match !last with
+  | None -> assert false
+  | Some x -> (x, quantile times 0.5)
+
+let format_seconds s =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s

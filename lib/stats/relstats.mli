@@ -1,0 +1,35 @@
+(** Accuracy metrics and measurement helpers for the experiments.
+
+    Section 7.6 evaluates approximation quality over [q1] searches
+    (terminal sets) with [q2] repetitions each:
+    {ul
+    {- variance:   [sum_ij (R_i - R^_ij)^2 / (q1 * q2)]}
+    {- error rate: [sum_ij |R_i - R^_ij| / (q1 * q2 * R_i)]}} *)
+
+val variance : exact:float array -> estimates:float array array -> float
+(** [variance ~exact ~estimates] with [estimates.(i)] the repetitions
+    for search [i]. @raise Invalid_argument on shape mismatch or empty
+    input. *)
+
+val error_rate : exact:float array -> estimates:float array array -> float
+(** As above; searches with [R_i = 0] contribute [0] when the estimate
+    is also [0] and [1] otherwise (relative error against a zero truth
+    saturates). *)
+
+val mean : float array -> float
+val std_dev : float array -> float
+(** Population standard deviation. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [[0, 1]], linear interpolation.
+    @raise Invalid_argument on empty input. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock seconds for one call. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** Run [repeats] times (default 3) and report the median wall time
+    with the last result. *)
+
+val format_seconds : float -> string
+(** Human-readable: ["412us"], ["3.2ms"], ["1.54s"]. *)

@@ -1,0 +1,105 @@
+(** Uncertain graphs: undirected graphs whose edges exist independently
+    with a given probability.
+
+    This is the substrate type of the whole library (the paper's
+    [G = (V, E, p)], Section 3.1).  Vertices are the integers
+    [[0, n_vertices)].  The representation supports parallel edges and
+    self-loops because the preprocessing transformations (Section 5 of the
+    paper) create parallel edges when contracting series chains; reliability
+    semantics are well defined for both.
+
+    The structure is immutable after construction and carries a CSR-style
+    adjacency index built eagerly, so neighbourhood iteration allocates
+    nothing. *)
+
+type edge = { u : int; v : int; p : float }
+(** An undirected uncertain edge between [u] and [v] existing with
+    probability [p]. The orientation of [(u, v)] carries no meaning. *)
+
+type t
+
+val create : n:int -> edge list -> t
+(** [create ~n edges] builds a graph with [n] vertices.
+    @raise Invalid_argument if an endpoint is outside [[0, n)] or a
+    probability is outside [[0, 1]] or not finite. *)
+
+val of_arrays : n:int -> edge array -> t
+(** Like {!create} from an array; the array is copied. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val edge : t -> int -> edge
+(** [edge g i] is the edge with identifier [i] in [[0, n_edges)]. *)
+
+val edges : t -> edge array
+(** A fresh copy of the edge array, indexed by edge identifier. *)
+
+val iter_edges : (int -> edge -> unit) -> t -> unit
+val fold_edges : ('a -> int -> edge -> 'a) -> 'a -> t -> 'a
+
+val degree : t -> int -> int
+(** Number of incident edge endpoints at a vertex. A self-loop counts
+    once. *)
+
+val iter_incident : t -> int -> (eid:int -> other:int -> unit) -> unit
+(** Iterate the edges incident to a vertex. For a self-loop [other] equals
+    the vertex itself and the edge is visited once. *)
+
+val incident_eids : t -> int -> int array
+(** Edge identifiers incident to a vertex (self-loops once). *)
+
+val incident_get : t -> int -> int -> int * int
+(** [incident_get g v i] is the [i]-th incident [(eid, other_endpoint)]
+    of [v], for [i] in [[0, degree g v)]. Constant time, no allocation
+    beyond the result pair; intended for iterative DFS/BFS that cannot
+    use {!iter_incident}. *)
+
+val neighbours : t -> int -> int array
+(** Endpoint vertices adjacent to a vertex, one entry per incident edge
+    (so duplicated under parallel edges). *)
+
+val other_endpoint : edge -> int -> int
+(** [other_endpoint e v] is the endpoint of [e] that is not [v]
+    ([v] itself for a self-loop).
+    @raise Invalid_argument if [v] is not an endpoint of [e]. *)
+
+val has_self_loop : t -> bool
+val has_parallel_edge : t -> bool
+
+val avg_degree : t -> float
+val avg_prob : t -> float
+
+val map_probs : (int -> edge -> float) -> t -> t
+(** Rebuild the graph with new edge probabilities. *)
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced by the distinct vertices [vs],
+    renumbered [0..]; returns [(sub, old_of_new)] where
+    [old_of_new.(new_id) = old_id]. Edges with an endpoint outside [vs]
+    are dropped. @raise Invalid_argument on duplicate vertices. *)
+
+val relabel_terminals : old_of_new:int array -> int list -> int list
+(** Map terminal ids of the original graph into the induced subgraph's
+    numbering. Terminals not present in the subgraph are dropped. *)
+
+val validate_terminals : t -> int list -> unit
+(** @raise Invalid_argument if the terminal list is empty, contains a
+    duplicate, or mentions a vertex outside the graph. *)
+
+(** {1 Text I/O}
+
+    Format: blank lines and [#]-prefixed comments are ignored; the first
+    data line holds the vertex count; every following data line holds
+    [u v p] (whitespace separated). *)
+
+val to_channel : out_channel -> t -> unit
+val of_channel : in_channel -> t
+val to_file : string -> t -> unit
+val of_file : string -> t
+val of_string : string -> t
+val to_buffer : Buffer.t -> t -> unit
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: vertex/edge counts, average degree, average
+    probability (the columns of the paper's Table 2). *)

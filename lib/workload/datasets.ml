@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  abbr : string;
+  kind : string;
+  graph : Ugraph.t;
+}
+
+let karate ?(seed = 1) () =
+  { name = "Zachary karate club"; abbr = "Karate"; kind = "Social";
+    graph = Karate.graph ~seed () }
+
+let am_rv ?(seed = 1) () =
+  let g =
+    Generators.bipartite_affiliation ~seed ~people:136 ~groups:5 ~memberships:160
+  in
+  { name = "American Revolution (synthetic)"; abbr = "Am-Rv"; kind = "Affiliation";
+    graph = Probability.uniform ~seed:(seed + 1) g }
+
+let scaled scale base = max 4 (int_of_float (float_of_int base *. scale))
+
+let coauthor_dataset ~seed ~scale ~base_n ~epv ~target_prob ~name ~abbr =
+  let n = scaled scale base_n in
+  let g, alphas = Generators.preferential_attachment ~seed ~n ~edges_per_vertex:epv in
+  let g = Probability.coauthor ~alphas g in
+  let g = Probability.calibrate_mean ~target:target_prob g in
+  { name; abbr; kind = "Coauthorship"; graph = g }
+
+let dblp1 ?(seed = 2) ?(scale = 1.0) () =
+  coauthor_dataset ~seed ~scale ~base_n:2590 ~epv:4 ~target_prob:0.222
+    ~name:"DBLP before 2000 (synthetic)" ~abbr:"DBLP1"
+
+let dblp2 ?(seed = 3) ?(scale = 1.0) () =
+  coauthor_dataset ~seed ~scale ~base_n:4890 ~epv:3 ~target_prob:0.203
+    ~name:"DBLP after 2000 (synthetic)" ~abbr:"DBLP2"
+
+let road_dataset ~seed ~scale ~base_side ~keep ~target_prob ~name ~abbr =
+  let side = max 3 (int_of_float (float_of_int base_side *. sqrt scale)) in
+  let g, lengths = Generators.grid_road ~seed ~rows:side ~cols:side ~keep in
+  let g = Probability.road ~lengths g in
+  let g = Probability.calibrate_mean ~target:target_prob g in
+  { name; abbr; kind = "Road network"; graph = g }
+
+let tokyo ?(seed = 4) ?(scale = 1.0) () =
+  road_dataset ~seed ~scale ~base_side:51 ~keep:0.23 ~target_prob:0.391
+    ~name:"Tokyo (synthetic road grid)" ~abbr:"Tokyo"
+
+let nyc ?(seed = 5) ?(scale = 1.0) () =
+  road_dataset ~seed ~scale ~base_side:95 ~keep:0.16 ~target_prob:0.294
+    ~name:"New York City (synthetic road grid)" ~abbr:"NYC"
+
+let hit_direct ?(seed = 6) ?(scale = 1.0) () =
+  let n = scaled scale 1825 in
+  let target_edges = scaled scale 24_877 in
+  let g = Generators.power_law ~seed ~n ~target_edges ~exponent:0.8 in
+  let g = Probability.interaction_scores ~seed:(seed + 1) g in
+  { name = "Hit-direct (synthetic PPI)"; abbr = "Hit-d"; kind = "Protein";
+    graph = g }
+
+let small ?(seed = 1) () = [ karate ~seed (); am_rv ~seed () ]
+
+let large ?(seed = 1) ?(scale = 1.0) () =
+  [
+    dblp1 ~seed:(seed + 1) ~scale ();
+    dblp2 ~seed:(seed + 2) ~scale ();
+    tokyo ~seed:(seed + 3) ~scale ();
+    nyc ~seed:(seed + 4) ~scale ();
+    hit_direct ~seed:(seed + 5) ~scale ();
+  ]
+
+let all ?(seed = 1) ?(scale = 1.0) () = small ~seed () @ large ~seed ~scale ()
+
+let table2_header =
+  Printf.sprintf "%-8s %-13s %10s %10s %9s %9s" "Abbr" "Type" "#vertices"
+    "#edges" "Avg.Deg" "Avg.Prob"
+
+let table2_row d =
+  Printf.sprintf "%-8s %-13s %10d %10d %9.2f %9.3f" d.abbr d.kind
+    (Ugraph.n_vertices d.graph) (Ugraph.n_edges d.graph)
+    (Ugraph.avg_degree d.graph) (Ugraph.avg_prob d.graph)

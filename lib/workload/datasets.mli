@@ -1,0 +1,51 @@
+(** The seven experimental datasets of Table 2, as offline substitutes
+    (DESIGN.md §5): the real Zachary karate club, plus synthetic graphs
+    reproducing each dataset's topology class, degree profile and
+    average edge probability.
+
+    Default sizes are scaled down roughly 10–20x from the paper so that
+    the full benchmark suite completes on a laptop; pass [scale] to grow
+    or shrink them (vertex counts scale linearly with [scale]). *)
+
+type t = {
+  name : string;   (** full name, e.g. ["DBLP before 2000 (synthetic)"] *)
+  abbr : string;   (** Table 2 abbreviation, e.g. ["DBLP1"] *)
+  kind : string;   (** topology class, e.g. ["Coauthorship"] *)
+  graph : Ugraph.t;
+}
+
+val karate : ?seed:int -> unit -> t
+(** The real 34-vertex Zachary karate club with uniform random
+    probabilities. *)
+
+val am_rv : ?seed:int -> unit -> t
+(** American-Revolution-class affiliation network (141 vertices /
+    160 edges at the paper's true scale — small, so not scaled). *)
+
+val dblp1 : ?seed:int -> ?scale:float -> unit -> t
+val dblp2 : ?seed:int -> ?scale:float -> unit -> t
+(** Coauthorship networks with the paper's
+    [log(alpha+1)/log(alphaM+2)] probabilities. *)
+
+val tokyo : ?seed:int -> ?scale:float -> unit -> t
+val nyc : ?seed:int -> ?scale:float -> unit -> t
+(** Road networks: near-planar grids with length-derived probabilities
+    calibrated to the Table 2 averages. *)
+
+val hit_direct : ?seed:int -> ?scale:float -> unit -> t
+(** Protein-interaction network: heavy-tailed, dense
+    (average degree ~27 at full scale). *)
+
+val small : ?seed:int -> unit -> t list
+(** [karate; am_rv] — the accuracy datasets (Tables 3 and 4). *)
+
+val large : ?seed:int -> ?scale:float -> unit -> t list
+(** [dblp1; dblp2; tokyo; nyc; hit_direct] — the efficiency datasets
+    (Figures 3–5, Table 5). *)
+
+val all : ?seed:int -> ?scale:float -> unit -> t list
+
+val table2_header : string
+val table2_row : t -> string
+(** Fixed-width row matching Table 2's columns: abbreviation, type,
+    #vertices, #edges, average degree, average probability. *)

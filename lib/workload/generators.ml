@@ -1,0 +1,153 @@
+let largest_component g =
+  let comp, count = Graphalgo.Connectivity.components g in
+  if count <= 1 then g
+  else begin
+    let sizes = Array.make count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    let best = ref 0 in
+    Array.iteri (fun c s -> if s > sizes.(!best) then best := c) sizes;
+    let members =
+      Array.of_list
+        (List.filter
+           (fun v -> comp.(v) = !best)
+           (List.init (Ugraph.n_vertices g) Fun.id))
+    in
+    fst (Ugraph.induced g members)
+  end
+
+let preferential_attachment ~seed ~n ~edges_per_vertex =
+  if n < 2 || edges_per_vertex < 1 then
+    invalid_arg "Generators.preferential_attachment: bad parameters";
+  let rng = Prng.create seed in
+  (* Degree-biased target selection via the repeated-endpoints trick:
+     every edge endpoint is appended to [endpoints]; a uniform draw from
+     it is a degree-proportional draw. *)
+  let n_endpoints = ref 2 in
+  let endpoint_arr = Array.make (2 * n * edges_per_vertex + 4) 0 in
+  endpoint_arr.(0) <- 0;
+  endpoint_arr.(1) <- 1;
+  let multiplicity : (int * int, int) Hashtbl.t = Hashtbl.create (n * edges_per_vertex) in
+  let note u v =
+    let key = if u < v then (u, v) else (v, u) in
+    Hashtbl.replace multiplicity key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt multiplicity key))
+  in
+  note 0 1;
+  for v = 2 to n - 1 do
+    for _ = 1 to edges_per_vertex do
+      let target = endpoint_arr.(Prng.int rng !n_endpoints) in
+      if target <> v then begin
+        note v target;
+        endpoint_arr.(!n_endpoints) <- v;
+        endpoint_arr.(!n_endpoints + 1) <- target;
+        n_endpoints := !n_endpoints + 2
+      end
+    done
+  done;
+  let pairs = Hashtbl.fold (fun k a acc -> (k, a) :: acc) multiplicity [] in
+  let pairs = List.sort compare pairs in
+  let edges =
+    List.map (fun ((u, v), _) -> { Ugraph.u; v; p = 0.5 }) pairs
+  in
+  let alphas = Array.of_list (List.map snd pairs) in
+  (* Attachments always target the initial component, so every edge
+     survives [largest_component] (only self-isolated vertices can
+     drop), keeping [alphas] aligned with edge identifiers. *)
+  (largest_component (Ugraph.create ~n edges), alphas)
+
+let grid_road ~seed ~rows ~cols ~keep =
+  if rows < 2 || cols < 2 then invalid_arg "Generators.grid_road: bad grid";
+  if keep < 0. || keep > 1. then invalid_arg "Generators.grid_road: bad keep";
+  let rng = Prng.create seed in
+  let idx r c = (r * cols) + c in
+  let candidates = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c < cols - 1 then candidates := (idx r c, idx r (c + 1)) :: !candidates;
+      if r < rows - 1 then candidates := (idx r c, idx (r + 1) c) :: !candidates
+    done
+  done;
+  (* A random spanning tree (random-order Kruskal) keeps the road map
+     connected; the remaining grid edges survive with probability
+     [keep]. *)
+  let cand = Array.of_list !candidates in
+  Prng.shuffle rng cand;
+  let dsu = Dsu.create (rows * cols) in
+  let chosen = ref [] in
+  Array.iter
+    (fun (u, v) ->
+      if Dsu.union dsu u v then chosen := (u, v) :: !chosen
+      else if Prng.bernoulli rng keep then chosen := (u, v) :: !chosen)
+    cand;
+  let lengths =
+    Array.of_list (List.map (fun _ -> 0.2 +. (1.8 *. Prng.float rng)) !chosen)
+  in
+  let edges = List.map (fun (u, v) -> { Ugraph.u; v; p = 0.5 }) !chosen in
+  (* Grid + spanning tree is connected by construction; keep the order
+     aligned with [lengths], so no component filtering here. *)
+  (Ugraph.create ~n:(rows * cols) edges, lengths)
+
+let power_law ~seed ~n ~target_edges ~exponent =
+  if n < 2 || target_edges < 1 then invalid_arg "Generators.power_law: bad parameters";
+  let rng = Prng.create seed in
+  let weights =
+    Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) exponent)
+  in
+  let table = Prng.Alias.build weights in
+  (* Random vertex labels so the heavy tail is not clustered at low
+     ids. *)
+  let label = Array.init n Fun.id in
+  Prng.shuffle rng label;
+  let seen = Hashtbl.create target_edges in
+  let edges = ref [] in
+  let attempts = ref 0 in
+  let max_attempts = 50 * target_edges in
+  while Hashtbl.length seen < target_edges && !attempts < max_attempts do
+    incr attempts;
+    let u = label.(Prng.Alias.sample rng table) in
+    let v = label.(Prng.Alias.sample rng table) in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        edges := { Ugraph.u; v; p = 0.5 } :: !edges
+      end
+    end
+  done;
+  largest_component (Ugraph.create ~n !edges)
+
+let bipartite_affiliation ~seed ~people ~groups ~memberships =
+  if people < 1 || groups < 1 || memberships < people then
+    invalid_arg "Generators.bipartite_affiliation: bad parameters";
+  let rng = Prng.create seed in
+  (* Group popularity is Zipf-skewed, as in real affiliation data. *)
+  let weights = Array.init groups (fun i -> 1. /. float_of_int (i + 1)) in
+  let table = Prng.Alias.build weights in
+  let n = people + groups in
+  let seen = Hashtbl.create memberships in
+  let edges = ref [] in
+  (* Every person joins one group; the remaining memberships spread. *)
+  let add person group =
+    let u = person and v = people + group in
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edges := { Ugraph.u; v; p = 0.5 } :: !edges
+    end
+  in
+  for person = 0 to people - 1 do
+    add person (Prng.Alias.sample rng table)
+  done;
+  let attempts = ref 0 in
+  while Hashtbl.length seen < memberships && !attempts < 50 * memberships do
+    incr attempts;
+    add (Prng.int rng people) (Prng.Alias.sample rng table)
+  done;
+  largest_component (Ugraph.create ~n !edges)
+
+let random_terminals ~seed g ~k =
+  let n = Ugraph.n_vertices g in
+  if k > n then invalid_arg "Generators.random_terminals: k exceeds vertices";
+  let rng = Prng.create seed in
+  let perm = Array.init n Fun.id in
+  Prng.shuffle rng perm;
+  Array.to_list (Array.sub perm 0 k)

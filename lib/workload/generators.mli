@@ -1,0 +1,42 @@
+(** Synthetic graph generators reproducing the topology classes of the
+    paper's Table 2 datasets (DESIGN.md §5 documents each
+    substitution). All generators are deterministic in [seed] and return
+    a connected graph (the largest component, relabelled). *)
+
+val largest_component : Ugraph.t -> Ugraph.t
+(** Restrict to the largest connected component, vertices renumbered. *)
+
+val preferential_attachment :
+  seed:int -> n:int -> edges_per_vertex:int -> Ugraph.t * int array
+(** Barabási–Albert-style coauthorship topology with collaboration
+    multiplicities: each arriving vertex attaches [edges_per_vertex]
+    times to degree-biased targets; repeat attachments raise an edge's
+    multiplicity [alpha] instead of creating parallels. Returns the
+    graph (placeholder probability 0.5 on every edge — assign with
+    {!Probability.coauthor}) and per-edge multiplicities. *)
+
+val grid_road :
+  seed:int -> rows:int -> cols:int -> keep:float -> Ugraph.t * float array
+(** Road-network topology: a [rows * cols] grid whose edges survive with
+    probability [keep] (plus a random spanning tree to stay connected),
+    giving the low average degree (~2.3–2.5) of the paper's Tokyo/NYC
+    datasets. Returns per-edge road lengths (perturbed unit lengths).
+    Probabilities are placeholders; assign with {!Probability.road}. *)
+
+val power_law :
+  seed:int -> n:int -> target_edges:int -> exponent:float -> Ugraph.t
+(** Chung–Lu-style protein-interaction topology: endpoints drawn
+    proportionally to Zipf([exponent]) weights until [target_edges]
+    distinct edges exist, yielding the heavy-tailed, high-average-degree
+    shape of Hit-direct. Placeholder probabilities. *)
+
+val bipartite_affiliation :
+  seed:int -> people:int -> groups:int -> memberships:int -> Ugraph.t
+(** Affiliation network (people x organisations) with skewed group
+    sizes, the American-Revolution topology class: sparse and tree-like
+    after 2-edge-component contraction. Placeholder probabilities. *)
+
+val random_terminals : seed:int -> Ugraph.t -> k:int -> int list
+(** [k] distinct uniformly random vertices (the paper's terminal
+    selection). @raise Invalid_argument if [k] exceeds the vertex
+    count. *)

@@ -1,0 +1,106 @@
+type probability_scheme =
+  [ `Uniform of int
+  | `Coauthor
+  | `Weight
+  ]
+
+type raw_edge = { a : int; b : int; weight : float option }
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '%' || line.[0] = '#' then None
+  else begin
+    let fields =
+      String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+      |> List.filter (fun s -> s <> "")
+    in
+    let fail () =
+      invalid_arg (Printf.sprintf "Konect: malformed line %d: %S" lineno line)
+    in
+    let int_of s = try int_of_string s with Failure _ -> fail () in
+    let float_of s = try float_of_string s with Failure _ -> fail () in
+    match fields with
+    | [ a; b ] -> Some { a = int_of a; b = int_of b; weight = None }
+    | [ a; b; w ] | [ a; b; w; _ ] ->
+      Some { a = int_of a; b = int_of b; weight = Some (float_of w) }
+    | _ -> fail ()
+  end
+
+let parse text ~scheme =
+  let raw =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> parse_line (i + 1) line)
+    |> List.filter_map Fun.id
+  in
+  (* Compact labels in first-appearance order. *)
+  let ids = Hashtbl.create 1024 in
+  let next = ref 0 in
+  let id_of label =
+    match Hashtbl.find_opt ids label with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      Hashtbl.add ids label i;
+      incr next;
+      i
+  in
+  (* Merge duplicates, accumulating multiplicity and the last weight. *)
+  let merged : (int * int, int * float option) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let u = id_of e.a and v = id_of e.b in
+      if u <> v then begin
+        let key = if u < v then (u, v) else (v, u) in
+        match Hashtbl.find_opt merged key with
+        | Some (mult, w) ->
+          Hashtbl.replace merged key
+            (mult + 1, match e.weight with Some _ as w' -> w' | None -> w)
+        | None ->
+          Hashtbl.add merged key (1, e.weight);
+          order := key :: !order
+      end)
+    raw;
+  let keys = List.rev !order in
+  let n = !next in
+  if n = 0 then invalid_arg "Konect: no edges";
+  let edge_of (u, v) p = { Ugraph.u; v; p } in
+  match scheme with
+  | `Uniform seed ->
+    let rng = Prng.create seed in
+    Ugraph.create ~n
+      (List.map (fun key -> edge_of key (Float.max 1e-9 (Prng.float rng))) keys)
+  | `Coauthor ->
+    let alpha_max =
+      List.fold_left
+        (fun acc key -> max acc (fst (Hashtbl.find merged key)))
+        1 keys
+    in
+    Ugraph.create ~n
+      (List.map
+         (fun key ->
+           let mult, _ = Hashtbl.find merged key in
+           edge_of key
+             (Float.log (float_of_int mult +. 1.)
+             /. Float.log (float_of_int alpha_max +. 2.)))
+         keys)
+  | `Weight ->
+    Ugraph.create ~n
+      (List.map
+         (fun key ->
+           match snd (Hashtbl.find merged key) with
+           | Some w when 0. <= w && w <= 1. -> edge_of key w
+           | Some w ->
+             invalid_arg
+               (Printf.sprintf "Konect: weight %g outside [0,1] for an edge" w)
+           | None -> invalid_arg "Konect: `Weight scheme but no weight column")
+         keys)
+
+let load path ~scheme =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = really_input_string ic len in
+      parse buf ~scheme)

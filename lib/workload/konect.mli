@@ -1,0 +1,29 @@
+(** Loader for KONECT-style edge lists (the repository the paper's small
+    datasets come from: [http://konect.uni-koblenz.de]).
+
+    Accepted line format, whitespace-separated:
+    {v
+    % comment (also # comments)
+    u v
+    u v weight
+    u v weight timestamp
+    v}
+
+    Vertex labels may be arbitrary non-negative integers (KONECT is
+    1-indexed); they are compacted to [0..n-1] in first-appearance
+    order. Duplicate edges are merged, accumulating a multiplicity used
+    by the [`Coauthor] probability scheme. *)
+
+type probability_scheme =
+  [ `Uniform of int  (** seed: independent uniform (0,1) probabilities *)
+  | `Coauthor  (** the paper's [log(alpha+1)/log(alphaM+2)] on multiplicities *)
+  | `Weight  (** use the weight column directly; must lie in [0, 1] *)
+  ]
+
+val parse : string -> scheme:probability_scheme -> Ugraph.t
+(** Parse from a string. Self-loops are dropped.
+    @raise Invalid_argument on malformed lines, or on [`Weight] with a
+    missing / out-of-range weight column. *)
+
+val load : string -> scheme:probability_scheme -> Ugraph.t
+(** Parse from a file path. *)

@@ -1,0 +1,61 @@
+let uniform ~seed g =
+  let rng = Prng.create seed in
+  Ugraph.map_probs (fun _ _ -> Float.max 1e-9 (Prng.float rng)) g
+
+let uniform_range ~seed ~lo ~hi g =
+  if not (0. <= lo && lo <= hi && hi <= 1.) then
+    invalid_arg "Probability.uniform_range: bad range";
+  let rng = Prng.create seed in
+  Ugraph.map_probs (fun _ _ -> Prng.uniform rng lo hi) g
+
+let log_formula value max_value =
+  Float.log (value +. 1.) /. Float.log (max_value +. 2.)
+
+let check_len name arr g =
+  if Array.length arr <> Ugraph.n_edges g then
+    invalid_arg (Printf.sprintf "Probability.%s: per-edge array length mismatch" name)
+
+let coauthor ~alphas g =
+  check_len "coauthor" alphas g;
+  let alpha_max = Array.fold_left max 1 alphas in
+  Ugraph.map_probs
+    (fun eid _ -> log_formula (float_of_int alphas.(eid)) (float_of_int alpha_max))
+    g
+
+let road ~lengths g =
+  check_len "road" lengths g;
+  let len_max = Array.fold_left Float.max 1e-9 lengths in
+  Ugraph.map_probs (fun eid _ -> log_formula lengths.(eid) len_max) g
+
+let interaction_scores ~seed g =
+  let rng = Prng.create seed in
+  (* Mean of two uniforms: triangular around 0.5, then slightly shifted
+     down towards Hit-direct's 0.47 average, clamped into (0, 1]. *)
+  Ugraph.map_probs
+    (fun _ _ ->
+      let x = ((Prng.float rng +. Prng.float rng) /. 2.) -. 0.03 in
+      Float.max 0.01 (Float.min 1. x))
+    g
+
+let calibrate_mean ~target g =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Probability.calibrate_mean: target outside (0, 1)";
+  let ps =
+    Ugraph.fold_edges (fun acc _ (e : Ugraph.edge) -> e.p :: acc) [] g
+  in
+  let adjustable = List.exists (fun p -> p > 0. && p < 1.) ps in
+  if not adjustable then
+    invalid_arg "Probability.calibrate_mean: no adjustable probabilities";
+  let m = float_of_int (List.length ps) in
+  let mean gamma =
+    List.fold_left (fun acc p -> acc +. Float.pow p gamma) 0. ps /. m
+  in
+  (* mean is decreasing in gamma; bisect. *)
+  let rec bisect lo hi n =
+    let mid = (lo +. hi) /. 2. in
+    if n = 0 then mid
+    else if mean mid > target then bisect mid hi (n - 1)
+    else bisect lo mid (n - 1)
+  in
+  let gamma = bisect 0.01 50. 60 in
+  Ugraph.map_probs (fun _ (e : Ugraph.edge) -> Float.pow e.p gamma) g

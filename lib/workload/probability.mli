@@ -1,0 +1,33 @@
+(** Edge-existence probability assignment schemes from Section 7.1. *)
+
+val uniform : seed:int -> Ugraph.t -> Ugraph.t
+(** Independent uniform [(0, 1)] probabilities (the paper's scheme for
+    the small datasets). *)
+
+val uniform_range : seed:int -> lo:float -> hi:float -> Ugraph.t -> Ugraph.t
+(** Uniform in [[lo, hi)] — used to steer a dataset's average
+    probability to its Table 2 value. *)
+
+val coauthor : alphas:int array -> Ugraph.t -> Ugraph.t
+(** The paper's DBLP scheme: [p(e) = log(alpha + 1) / log(alphaM + 2)]
+    where [alpha] is the collaboration count of edge [e] and [alphaM]
+    the maximum over the graph.
+    @raise Invalid_argument on a length mismatch. *)
+
+val road : lengths:float array -> Ugraph.t -> Ugraph.t
+(** The same logarithmic scheme applied to road lengths (Section 7.1
+    assigns Tokyo/NYC probabilities "in the same manner ... using road
+    lengths"). Lengths are scaled into a positive range first.
+    @raise Invalid_argument on a length mismatch. *)
+
+val interaction_scores : seed:int -> Ugraph.t -> Ugraph.t
+(** Protein-interaction scores in (0, 1]: a beta-like unimodal draw
+    centred near 0.47, matching Hit-direct's average probability. *)
+
+val calibrate_mean : target:float -> Ugraph.t -> Ugraph.t
+(** Apply a power transform [p -> p^gamma] (bisected on [gamma]) so the
+    average edge probability lands on [target], preserving the
+    heterogeneity ordering of the edges. Used to match each dataset's
+    Table 2 average probability.
+    @raise Invalid_argument if [target] is outside (0, 1) or the graph
+    has no edges with [0 < p < 1] to calibrate. *)

@@ -1,0 +1,131 @@
+(* Extended-range non-negative reals: value = m * 2^e with m in [0.5, 1)
+   (or m = 0).  Invariant maintained by [norm] after every operation. *)
+
+type t = { m : float; e : int }
+
+let zero = { m = 0.; e = 0 }
+
+let norm m e =
+  if m = 0. then zero
+  else
+    let frac, ex = Float.frexp m in
+    { m = frac; e = e + ex }
+
+let one = norm 1. 0
+let half = norm 0.5 0
+
+let of_float x =
+  if Float.is_nan x || x < 0. || x = Float.infinity then
+    invalid_arg (Printf.sprintf "Xprob.of_float: %g" x)
+  else norm x 0
+
+let is_zero x = x.m = 0.
+
+(* Doubles cover binary exponents roughly in [-1074, 1024]. *)
+let to_float_approx x =
+  if is_zero x then 0.
+  else if x.e > 1024 then infinity
+  else if x.e < -1080 then 0.
+  else Float.ldexp x.m x.e
+
+let to_float_exn x =
+  let f = to_float_approx x in
+  if f = infinity then invalid_arg "Xprob.to_float_exn: overflow" else f
+
+let mul a b = if is_zero a || is_zero b then zero else norm (a.m *. b.m) (a.e + b.e)
+
+let div a b =
+  if is_zero b then raise Division_by_zero
+  else if is_zero a then zero
+  else norm (a.m /. b.m) (a.e - b.e)
+
+let scale c x =
+  if Float.is_nan c || c < 0. || c = Float.infinity then
+    invalid_arg (Printf.sprintf "Xprob.scale: %g" c)
+  else if c = 0. || is_zero x then zero
+  else
+    let frac, ex = Float.frexp c in
+    norm (frac *. x.m) (x.e + ex)
+
+(* Alignment beyond 54 bits makes the smaller operand vanish entirely. *)
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else
+    let hi, lo = if a.e >= b.e then (a, b) else (b, a) in
+    let shift = lo.e - hi.e in
+    if shift < -60 then hi else norm (hi.m +. Float.ldexp lo.m shift) hi.e
+
+let compare a b =
+  if is_zero a then if is_zero b then 0 else -1
+  else if is_zero b then 1
+  else if a.e <> b.e then Stdlib.compare a.e b.e
+  else Stdlib.compare a.m b.m
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* Relative tolerance for deciding that a negative difference is
+   cancellation noise rather than a genuinely negative result. *)
+let cancellation_ulps = 1e-9
+
+let sub a b =
+  if is_zero b then a
+  else
+    let c = compare a b in
+    if c = 0 then zero
+    else if c > 0 then
+      let shift = b.e - a.e in
+      if shift < -60 then a else norm (a.m -. Float.ldexp b.m shift) a.e
+    else
+      (* a < b: legitimate only within rounding noise of zero. *)
+      let shift = a.e - b.e in
+      let diff = b.m -. (if shift < -60 then 0. else Float.ldexp a.m shift) in
+      if diff <= cancellation_ulps *. b.m then zero
+      else invalid_arg "Xprob.sub: negative result"
+
+let complement p =
+  if is_zero p then one
+  else if p.e > 0 || (p.e = 0 && p.m > 1.) then
+    if p.e = 1 && p.m <= 0.5 +. cancellation_ulps then zero
+    else invalid_arg "Xprob.complement: argument exceeds one"
+  else sub one p
+
+let rec pow_int x n =
+  if n < 0 then invalid_arg "Xprob.pow_int: negative exponent"
+  else if n = 0 then one
+  else if n = 1 then x
+  else
+    let h = pow_int x (n / 2) in
+    let h2 = mul h h in
+    if n mod 2 = 0 then h2 else mul h2 x
+
+let log2 x = if is_zero x then neg_infinity else Float.log2 x.m +. float_of_int x.e
+let log10 x = log2 x *. 0.301029995663981195
+let sum xs = List.fold_left add zero xs
+let sum_array xs = Array.fold_left add zero xs
+
+let mantissa_exponent x = (x.m, x.e)
+
+let to_string x =
+  if is_zero x then "0"
+  else
+    let l10 = log10 x in
+    let e10 = int_of_float (Float.floor l10) in
+    (* Mantissa in [1, 10): recover it from the residual log to avoid
+       overflow when |e10| is huge. *)
+    let m10 = Float.exp ((l10 -. float_of_int e10) *. Float.log 10.) in
+    let m10, e10 = if m10 >= 10. then (m10 /. 10., e10 + 1) else (m10, e10) in
+    if e10 >= -4 && e10 <= 15 then
+      Printf.sprintf "%.10g" (m10 *. (10. ** float_of_int e10))
+    else Printf.sprintf "%.6ge%d" m10 e10
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* Comparison operators on [t]; defined last so that the integer
+   comparisons above keep their Stdlib meaning. *)
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

@@ -1,0 +1,67 @@
+The CLI's deterministic surfaces: stats, gen, preprocess, estimate
+(exact cases) and bounds. Timing lines are filtered out.
+
+  $ netrel stats --dataset karate
+  Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
+  connected components: 1, bridges: 1
+  $ netrel stats | head -3
+  Abbr     Type           #vertices     #edges   Avg.Deg  Avg.Prob
+  Karate   Social                34         78      4.59     0.534
+  Am-Rv    Affiliation          141        160      2.27     0.525
+  $ netrel gen --dataset karate | head -4
+  # uncertain graph: 34 vertices, 78 edges
+  34
+  0 1 0.70292183315885048
+  0 2 0.52043661993885693
+  $ netrel preprocess --dataset am-rv --terminals 0,50,100
+  graph Am-Rv: |V|=141 |E|=160 avg_deg=2.27 avg_prob=0.525
+  pruned: 141 -> 29 vertices, 160 -> 48 edges
+  decomposed at 2 bridges (pb = 0.05401875203) into 1 subproblem(s)
+  transformed to 14 edges total (reduction ratio 0.087, 2 rounds)
+    #0: |V|=8 |E|=14 avg_deg=3.50 avg_prob=0.604, terminals [0, 4, 6]
+  $ netrel estimate --dataset am-rv --terminals 0,50,100 | grep -v time
+  graph Am-Rv: |V|=141 |E|=160 avg_deg=2.27 avg_prob=0.525
+  terminals: [0, 50, 100]
+  R = 0.0460878085  (exact)
+  bounds = [0.0460878085, 0.0460878085]
+  budget: s = 10000 -> s' = 9137, 0 descents drawn
+  $ netrel bounds --dataset am-rv --terminals 0,50,100 --threshold 0.5 | grep -v time
+  graph Am-Rv: |V|=141 |E|=160 avg_deg=2.27 avg_prob=0.525
+  proven bounds: [0.0460878085, 0.0460878085]  (exact)
+  threshold 0.5: R < threshold (proven)
+
+Brute force and the exact BDD agree on a small hand-written graph
+(the paper's Figure 1 example):
+
+  $ cat > fig1.txt <<'END'
+  > 5
+  > 0 1 0.7
+  > 0 2 0.7
+  > 1 3 0.7
+  > 2 3 0.7
+  > 1 4 0.7
+  > 3 4 0.7
+  > END
+  $ netrel estimate --graph fig1.txt --terminals 0,3,4 --method brute | grep "R ="
+  R = 0.716527  (exhaustive over 2^6 possible graphs)
+  $ netrel estimate --graph fig1.txt --terminals 0,3,4 --method bdd | grep "R ="
+  R = 0.716527  (exact)
+  $ netrel estimate --graph fig1.txt --terminals 0,3,4 | grep "R ="
+  R = 0.716527  (exact)
+
+Errors exit non-zero with a message:
+
+  $ netrel estimate --dataset nope -k 3
+  netrel: unknown dataset "nope" (known: karate, am-rv, dblp1, dblp2, tokyo, nyc, hit-d)
+  [2]
+  $ netrel estimate --dataset karate
+  netrel: one of --terminals IDS or -k K is required
+  [2]
+  $ netrel estimate --dataset karate --terminals 0,99
+  netrel: Ugraph.validate_terminals: vertex 99 out of range
+  [2]
+  $ netrel estimate --dataset karate --terminals 0,33 --method brute
+  graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
+  terminals: [0, 33]
+  netrel: Bruteforce.reliability: 78 edges > 25
+  [2]

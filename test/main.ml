@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "netrel"
+    [
+      Test_xprob.suite;
+      Test_prng.suite;
+      Test_dsu.suite;
+      Test_ugraph.suite;
+      Test_graphalgo.suite;
+      Test_bddbase.suite;
+      Test_preprocess.suite;
+      Test_core.suite;
+      Test_workload.suite;
+      Test_fstate_extra.suite;
+      Test_factoring.suite;
+      Test_reach.suite;
+      Test_apps.suite;
+      Test_polynomial.suite;
+      Test_bounds_konect.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,198 @@
+open Testutil
+module BF = Bddbase.Bruteforce
+module SSet = Uapps.Sampleset
+module RSearch = Uapps.Reliability_search
+module Clust = Uapps.Clustering
+module RSub = Uapps.Reliable_subgraph
+
+(* ---- sample sets ---- *)
+
+let t_sampleset_deterministic () =
+  let g = fig1 () in
+  let a = SSet.draw ~seed:3 g ~samples:50 in
+  let b = SSet.draw ~seed:3 g ~samples:50 in
+  for sample = 0 to 49 do
+    for eid = 0 to Ugraph.n_edges g - 1 do
+      Alcotest.(check bool) "same bits" (SSet.edge_present a ~sample ~eid)
+        (SSet.edge_present b ~sample ~eid)
+    done
+  done
+
+let t_sampleset_edge_frequency () =
+  let g = graph ~n:2 [ (0, 1, 0.3) ] in
+  let set = SSet.draw ~seed:1 g ~samples:50_000 in
+  let count = ref 0 in
+  for sample = 0 to 49_999 do
+    if SSet.edge_present set ~sample ~eid:0 then incr count
+  done;
+  let rate = float_of_int !count /. 50_000. in
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f ~ 0.3" rate) true
+    (Float.abs (rate -. 0.3) < 0.01)
+
+let t_sampleset_extremes () =
+  let g = graph ~n:2 [ (0, 1, 1.0); (0, 1, 0.0) ] in
+  let set = SSet.draw ~seed:1 g ~samples:100 in
+  for sample = 0 to 99 do
+    Alcotest.(check bool) "p=1 always" true (SSet.edge_present set ~sample ~eid:0);
+    Alcotest.(check bool) "p=0 never" false (SSet.edge_present set ~sample ~eid:1)
+  done
+
+let t_connected_count_matches_reliability () =
+  let g = fig1 () in
+  let ts = [ 0; 3; 4 ] in
+  let expect = BF.reliability g ~terminals:ts in
+  let samples = 40_000 in
+  let set = SSet.draw ~seed:7 g ~samples in
+  let est = float_of_int (SSet.connected_count set ts) /. float_of_int samples in
+  let sigma = sqrt (expect *. (1. -. expect) /. float_of_int samples) in
+  Alcotest.(check bool)
+    (Printf.sprintf "count/s %.4f ~ %.4f" est expect)
+    true
+    (Float.abs (est -. expect) <= 5. *. sigma)
+
+let t_reach_counts_basics () =
+  let g = path4 1.0 in
+  let set = SSet.draw ~seed:1 g ~samples:10 in
+  Alcotest.(check (array int)) "everything reached under p=1"
+    [| 10; 10; 10; 10 |]
+    (SSet.reach_counts set ~sources:[ 0 ]);
+  let dead = path4 0.0 in
+  let set0 = SSet.draw ~seed:1 dead ~samples:10 in
+  Alcotest.(check (array int)) "only the source under p=0" [| 10; 0; 0; 0 |]
+    (SSet.reach_counts set0 ~sources:[ 0 ])
+
+let t_pairwise_counts () =
+  let g = two_triangles 1.0 in
+  let set = SSet.draw ~seed:1 g ~samples:5 in
+  let pairs = SSet.pairwise_counts set [ 0; 4; 5 ] in
+  Alcotest.(check int) "three pairs" 3 (List.length pairs);
+  List.iter
+    (fun (_, _, c) -> Alcotest.(check int) "fully connected graph" 5 c)
+    pairs
+
+(* ---- reliability search ---- *)
+
+let t_search_certain_graph () =
+  let g = two_triangles 1.0 in
+  let results = RSearch.search ~samples:100 g ~sources:[ 0 ] ~eta:0.9 in
+  Alcotest.(check int) "all other vertices found" 5 (List.length results);
+  List.iter
+    (fun r -> check_close "certain reach" 1. r.RSearch.reliability)
+    results
+
+let t_search_threshold () =
+  (* Path with decaying reach: vertices further from the source fall
+     under the threshold. *)
+  let g = path4 0.5 in
+  let results = RSearch.search ~seed:5 ~samples:20_000 g ~sources:[ 0 ] ~eta:0.2 in
+  let found = List.map (fun r -> r.RSearch.vertex) results in
+  (* Reach probabilities: v1 = 0.5, v2 = 0.25, v3 = 0.125. *)
+  Alcotest.(check (list int)) "v1 and v2 pass eta=0.2" [ 1; 2 ] found;
+  let r1 = List.hd results in
+  Alcotest.(check int) "sorted by reliability" 1 r1.RSearch.vertex;
+  Alcotest.(check bool) "estimate near 0.5" true
+    (Float.abs (r1.RSearch.reliability -. 0.5) < 0.02)
+
+let t_search_excludes_sources () =
+  let g = fig1 () in
+  let results = RSearch.search ~samples:200 g ~sources:[ 0; 1 ] ~eta:0. in
+  Alcotest.(check bool) "sources excluded" true
+    (List.for_all (fun r -> r.RSearch.vertex <> 0 && r.RSearch.vertex <> 1) results)
+
+let t_search_validation () =
+  let g = fig1 () in
+  Alcotest.check_raises "bad eta"
+    (Invalid_argument "Reliability_search: eta outside [0,1]") (fun () ->
+      ignore (RSearch.search g ~sources:[ 0 ] ~eta:1.5))
+
+(* ---- clustering ---- *)
+
+let t_clustering_two_blobs () =
+  (* Two dense triangles joined by a feeble bridge: k = 2 must split at
+     the bridge. *)
+  let g =
+    graph ~n:6
+      [ (0, 1, 0.95); (1, 2, 0.95); (2, 0, 0.95); (2, 3, 0.05); (3, 4, 0.95);
+        (4, 5, 0.95); (5, 3, 0.95) ]
+  in
+  let cl = Clust.cluster ~seed:2 ~samples:2_000 g ~k:2 in
+  Alcotest.(check int) "two centers" 2 (Array.length cl.Clust.centers);
+  let cluster_of v = cl.Clust.assignment.(v) in
+  Alcotest.(check int) "0 with 1" (cluster_of 0) (cluster_of 1);
+  Alcotest.(check int) "1 with 2" (cluster_of 1) (cluster_of 2);
+  Alcotest.(check int) "3 with 4" (cluster_of 3) (cluster_of 4);
+  Alcotest.(check int) "4 with 5" (cluster_of 4) (cluster_of 5);
+  Alcotest.(check bool) "split across the bridge" true
+    (cluster_of 0 <> cluster_of 3);
+  let quality = Clust.average_inner_reliability cl in
+  Alcotest.(check bool)
+    (Printf.sprintf "high inner reliability %.3f" quality)
+    true (quality > 0.8)
+
+let t_clustering_k_equals_n () =
+  let g = path4 0.5 in
+  let cl = Clust.cluster ~samples:100 g ~k:4 in
+  let sorted = Array.copy cl.Clust.centers in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "everyone a center" [| 0; 1; 2; 3 |] sorted;
+  check_close "inner reliability vacuous" 1. (Clust.average_inner_reliability cl)
+
+let t_clustering_validation () =
+  let g = path4 0.5 in
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Clustering.cluster: k out of range") (fun () ->
+      ignore (Clust.cluster g ~k:5))
+
+(* ---- reliable subgraph ---- *)
+
+let t_subgraph_prunes_pendant () =
+  (* Triangle with seeds {0, 1} plus a pendant path: the pendant cannot
+     help and must be pruned. *)
+  let g =
+    graph ~n:6
+      [ (0, 1, 0.9); (1, 2, 0.9); (2, 0, 0.9); (2, 3, 0.8); (3, 4, 0.8); (4, 5, 0.8) ]
+  in
+  let r = RSub.discover ~seed:4 ~samples:2_000 g ~seeds:[ 0; 1 ] ~threshold:0.9 in
+  Alcotest.(check bool) "small core" true (List.length r.RSub.vertices <= 3);
+  Alcotest.(check bool) "contains seeds" true
+    (List.mem 0 r.RSub.vertices && List.mem 1 r.RSub.vertices);
+  Alcotest.(check bool) "meets threshold" true (r.RSub.reliability >= 0.9);
+  Alcotest.(check int) "seed terminals relabelled" 2 (List.length r.RSub.seed_terminals)
+
+let t_subgraph_keeps_needed_path () =
+  (* Seeds at the two ends of a reliable path: nothing removable without
+     dropping below the threshold. *)
+  let g = path4 0.99 in
+  let r = RSub.discover ~seed:4 ~samples:2_000 g ~seeds:[ 0; 3 ] ~threshold:0.9 in
+  Alcotest.(check int) "whole path kept" 4 (List.length r.RSub.vertices)
+
+let t_subgraph_unreachable_threshold () =
+  (* Threshold above the achievable reliability: nothing is removed and
+     the reported estimate stays below it. *)
+  let g = path4 0.5 in
+  let r = RSub.discover ~samples:1_000 g ~seeds:[ 0; 3 ] ~threshold:0.99 in
+  Alcotest.(check bool) "reports honest reliability" true (r.RSub.reliability < 0.99);
+  Alcotest.(check int) "graph untouched" 4 (List.length r.RSub.vertices)
+
+let suite =
+  ( "apps",
+    [
+      Alcotest.test_case "sampleset deterministic" `Quick t_sampleset_deterministic;
+      Alcotest.test_case "sampleset edge frequency" `Slow t_sampleset_edge_frequency;
+      Alcotest.test_case "sampleset p in {0,1}" `Quick t_sampleset_extremes;
+      Alcotest.test_case "connected_count ~ reliability" `Slow
+        t_connected_count_matches_reliability;
+      Alcotest.test_case "reach counts basics" `Quick t_reach_counts_basics;
+      Alcotest.test_case "pairwise counts" `Quick t_pairwise_counts;
+      Alcotest.test_case "search: certain graph" `Quick t_search_certain_graph;
+      Alcotest.test_case "search: threshold" `Slow t_search_threshold;
+      Alcotest.test_case "search: excludes sources" `Quick t_search_excludes_sources;
+      Alcotest.test_case "search: validation" `Quick t_search_validation;
+      Alcotest.test_case "clustering: two blobs" `Quick t_clustering_two_blobs;
+      Alcotest.test_case "clustering: k = n" `Quick t_clustering_k_equals_n;
+      Alcotest.test_case "clustering: validation" `Quick t_clustering_validation;
+      Alcotest.test_case "subgraph: prunes pendant" `Quick t_subgraph_prunes_pendant;
+      Alcotest.test_case "subgraph: keeps needed path" `Quick t_subgraph_keeps_needed_path;
+      Alcotest.test_case "subgraph: honest on unreachable threshold" `Quick
+        t_subgraph_unreachable_threshold;
+    ] )

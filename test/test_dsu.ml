@@ -1,0 +1,118 @@
+open Testutil
+
+let t_singletons () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "size" 5 (Dsu.size d);
+  Alcotest.(check int) "sets" 5 (Dsu.count_sets d);
+  for i = 0 to 4 do
+    Alcotest.(check int) "self root" i (Dsu.find d i);
+    Alcotest.(check int) "component size" 1 (Dsu.component_size d i)
+  done
+
+let t_union_find () =
+  let d = Dsu.create 6 in
+  Alcotest.(check bool) "new union" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "redundant union" false (Dsu.union d 1 0);
+  ignore (Dsu.union d 2 3);
+  Alcotest.(check bool) "0~1" true (Dsu.connected d 0 1);
+  Alcotest.(check bool) "0!~2" false (Dsu.connected d 0 2);
+  ignore (Dsu.union d 1 2);
+  Alcotest.(check bool) "0~3 transitively" true (Dsu.connected d 0 3);
+  Alcotest.(check int) "component size" 4 (Dsu.component_size d 3);
+  Alcotest.(check int) "sets" 3 (Dsu.count_sets d)
+
+let t_reset () =
+  let d = Dsu.create 4 in
+  ignore (Dsu.union d 0 1);
+  ignore (Dsu.union d 2 3);
+  Dsu.reset d;
+  Alcotest.(check int) "sets after reset" 4 (Dsu.count_sets d);
+  Alcotest.(check bool) "disconnected" false (Dsu.connected d 0 1);
+  Alcotest.(check int) "size 1" 1 (Dsu.component_size d 0)
+
+let t_all_connected () =
+  let d = Dsu.create 5 in
+  Alcotest.(check bool) "empty list" true (Dsu.all_connected d []);
+  Alcotest.(check bool) "singleton" true (Dsu.all_connected d [ 3 ]);
+  ignore (Dsu.union d 0 1);
+  ignore (Dsu.union d 1 2);
+  Alcotest.(check bool) "connected triple" true (Dsu.all_connected d [ 0; 1; 2 ]);
+  Alcotest.(check bool) "broken by 4" false (Dsu.all_connected d [ 0; 1; 4 ])
+
+let t_create_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Dsu.create: negative size")
+    (fun () -> ignore (Dsu.create (-1)))
+
+let t_zero_size () =
+  let d = Dsu.create 0 in
+  Alcotest.(check int) "no sets" 0 (Dsu.count_sets d)
+
+(* Property: DSU find induces the same partition as the naive relation
+   closure of the applied unions. *)
+let prop_matches_naive =
+  let gen =
+    QCheck.Gen.(
+      sized (fun sz ->
+          let n = 2 + (sz mod 20) in
+          let pair = map2 (fun a b -> (a mod n, b mod n)) small_nat small_nat in
+          map (fun ops -> (n, ops)) (list_size (int_bound 40) pair)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (n, ops) ->
+        Printf.sprintf "n=%d ops=[%s]" n
+          (String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) ops)))
+      gen
+  in
+  QCheck.Test.make ~name:"dsu matches naive closure" ~count:300 arb
+    (fun (n, ops) ->
+      let d = Dsu.create n in
+      (* Naive: adjacency matrix + Floyd–Warshall-style closure. *)
+      let reach = Array.make_matrix n n false in
+      for i = 0 to n - 1 do
+        reach.(i).(i) <- true
+      done;
+      List.iter
+        (fun (a, b) ->
+          ignore (Dsu.union d a b);
+          reach.(a).(b) <- true;
+          reach.(b).(a) <- true)
+        ops;
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Dsu.connected d i j <> reach.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_sets_count =
+  QCheck.Test.make ~name:"dsu count_sets = distinct roots" ~count:200
+    QCheck.(pair (int_range 1 30) (list_of_size (QCheck.Gen.int_bound 50) (pair small_nat small_nat)))
+    (fun (n, ops) ->
+      let d = Dsu.create n in
+      List.iter (fun (a, b) -> ignore (Dsu.union d (a mod n) (b mod n))) ops;
+      let roots = Hashtbl.create n in
+      for i = 0 to n - 1 do
+        Hashtbl.replace roots (Dsu.find d i) ()
+      done;
+      Hashtbl.length roots = Dsu.count_sets d)
+
+let suite =
+  ( "dsu",
+    [
+      Alcotest.test_case "singletons" `Quick t_singletons;
+      Alcotest.test_case "union/find" `Quick t_union_find;
+      Alcotest.test_case "reset" `Quick t_reset;
+      Alcotest.test_case "all_connected" `Quick t_all_connected;
+      Alcotest.test_case "create invalid" `Quick t_create_invalid;
+      Alcotest.test_case "zero size" `Quick t_zero_size;
+    ]
+    @ qtests [ prop_matches_naive; prop_sets_count ] )

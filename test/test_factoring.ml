@@ -1,0 +1,99 @@
+open Testutil
+module BF = Bddbase.Bruteforce
+module FA = Bddbase.Factoring
+
+let solve ?call_budget g ~terminals =
+  match FA.reliability_float ?call_budget g ~terminals with
+  | Ok r -> r
+  | Error (`Budget_exceeded n) -> Alcotest.failf "factoring budget hit at %d" n
+
+let t_known_graphs () =
+  List.iter
+    (fun (name, g, ts) ->
+      let expect = BF.reliability g ~terminals:ts in
+      check_close ~eps:1e-9 name expect (solve g ~terminals:ts))
+    [
+      ("single edge", graph ~n:2 [ (0, 1, 0.37) ], [ 0; 1 ]);
+      ("path", path4 0.8, [ 0; 3 ]);
+      ("cycle", cycle4 0.5, [ 0; 2 ]);
+      ("fig1 k=3", fig1 (), [ 0; 3; 4 ]);
+      ("fig1 k=5", fig1 (), [ 0; 1; 2; 3; 4 ]);
+      ("two triangles", two_triangles 0.6, [ 0; 4 ]);
+      ("parallel", graph ~n:2 [ (0, 1, 0.5); (0, 1, 0.4) ], [ 0; 1 ]);
+      ("self loop", graph ~n:3 [ (0, 0, 0.5); (0, 1, 0.7); (1, 2, 0.7) ], [ 0; 2 ]);
+    ]
+
+let t_degenerate () =
+  check_close "k=1" 1. (solve (path4 0.5) ~terminals:[ 2 ]);
+  let disconnected = graph ~n:4 [ (0, 1, 0.9); (2, 3, 0.9) ] in
+  check_close "separated" 0. (solve disconnected ~terminals:[ 0; 3 ]);
+  check_close "p=1 graph" 1. (solve (cycle4 1.0) ~terminals:[ 0; 2 ]);
+  check_close "p=0 graph" 0. (solve (cycle4 0.0) ~terminals:[ 0; 2 ])
+
+let t_stats () =
+  match FA.reliability (fig1 ()) ~terminals:[ 0; 3; 4 ] with
+  | Error _ -> Alcotest.fail "budget"
+  | Ok (_, st) ->
+    Alcotest.(check bool) "made calls" true (st.FA.recursive_calls >= 1);
+    Alcotest.(check bool) "reduced" true (st.FA.reductions >= 1)
+
+let t_budget () =
+  (* A 4x4 grid with k=4 needs a few factoring branches; budget 1 must
+     trip before finishing. *)
+  let es = ref [] in
+  let idx r c = (r * 4) + c in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      if c < 3 then es := (idx r c, idx r (c + 1), 0.5) :: !es;
+      if r < 3 then es := (idx r c, idx (r + 1) c, 0.5) :: !es
+    done
+  done;
+  let g = graph ~n:16 !es in
+  match FA.reliability ~call_budget:1 g ~terminals:[ 0; 15; 3; 12 ] with
+  | Error (`Budget_exceeded _) -> ()
+  | Ok _ -> Alcotest.fail "expected budget exhaustion"
+
+let t_series_parallel_without_recursion () =
+  (* A pure series-parallel graph collapses entirely inside the
+     reductions: the recursion should stay tiny. *)
+  let g =
+    graph ~n:6
+      [ (0, 1, 0.9); (1, 2, 0.8); (1, 2, 0.7); (2, 3, 0.9); (3, 4, 0.6);
+        (4, 5, 0.5); (3, 5, 0.4) ]
+  in
+  match FA.reliability g ~terminals:[ 0; 5 ] with
+  | Error _ -> Alcotest.fail "budget"
+  | Ok (r, st) ->
+    check_close ~eps:1e-9 "value" (BF.reliability g ~terminals:[ 0; 5 ]) r;
+    Alcotest.(check bool)
+      (Printf.sprintf "few calls (%d)" st.FA.recursive_calls)
+      true (st.FA.recursive_calls <= 1)
+
+let prop_matches_bruteforce =
+  QCheck.Test.make ~name:"factoring = brute force" ~count:200
+    (Test_bddbase.arb_graph_ts ~max_n:7 ~max_m:11 ~max_k:4)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let expect = BF.reliability g ~terminals:ts in
+      Float.abs (solve g ~terminals:ts -. expect) <= 1e-9)
+
+let prop_matches_bdd_on_larger =
+  QCheck.Test.make ~name:"factoring = exact BDD beyond brute force" ~count:40
+    (Test_bddbase.arb_graph_ts ~max_n:10 ~max_m:18 ~max_k:3)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      match Bddbase.Exact.reliability_float g ~terminals:ts with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok expect -> Float.abs (solve g ~terminals:ts -. expect) <= 1e-9)
+
+let suite =
+  ( "factoring",
+    [
+      Alcotest.test_case "known graphs" `Quick t_known_graphs;
+      Alcotest.test_case "degenerate cases" `Quick t_degenerate;
+      Alcotest.test_case "stats" `Quick t_stats;
+      Alcotest.test_case "call budget" `Quick t_budget;
+      Alcotest.test_case "series-parallel needs no recursion" `Quick
+        t_series_parallel_without_recursion;
+    ]
+    @ qtests [ prop_matches_bruteforce; prop_matches_bdd_on_larger ] )

@@ -1,0 +1,259 @@
+(* Deep tests of the sparse frontier state machine: the fast
+   (union-find) descent against the slow (state machine) descent,
+   sparse-representation edge cases, and exactness under adversarial
+   edge orders. *)
+
+open Testutil
+module F = Bddbase.Fstate
+module BF = Bddbase.Bruteforce
+module O = Graphalgo.Ordering
+
+let ctx_of g ts order = F.make g ~order ~terminals:ts
+
+(* Enumerate all sink probabilities by walking the machine with weights,
+   from an arbitrary state: a reference for descend correctness. *)
+let exact_from ctx ~pos st =
+  let m = F.n_positions ctx in
+  let rec go pos st acc =
+    if pos >= m then failwith "live state at the end"
+    else begin
+      let e = F.edge_at ctx pos in
+      let branch exists w sum =
+        if w = 0. then sum
+        else
+          match F.step ctx ~eager:true ~pos st ~exists with
+          | F.Sink1 -> sum +. (acc *. w)
+          | F.Sink0 -> sum
+          | F.Live st' -> go (pos + 1) st' (acc *. w) +. sum -. 0. |> fun x -> x
+      in
+      let s1 = branch true e.Ugraph.p 0. in
+      branch false (1. -. e.Ugraph.p) s1
+    end
+  in
+  go pos st 1.
+
+(* descend_union must agree in distribution with the slow descend; we
+   check something stronger on deterministic completions: with p in
+   {0, 1} edges, both are deterministic and must agree exactly. *)
+let t_descend_union_deterministic () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let n = 2 + Prng.int r 6 in
+    let m = 1 + Prng.int r 10 in
+    let es =
+      List.init m (fun _ ->
+          (Prng.int r n, Prng.int r n, if Prng.bool r then 1.0 else 0.0))
+    in
+    let g = graph ~n es in
+    let k = 2 + Prng.int r (n - 1) in
+    let ts = Workload.Generators.random_terminals ~seed:(Prng.int r 10000) g ~k in
+    let viable =
+      List.for_all (fun t -> Ugraph.degree g t > 0) ts && List.length ts >= 2
+    in
+    if viable then begin
+      let order = O.order_edges O.Bfs g in
+      let ctx = ctx_of g ts order in
+      let dsu = Dsu.create (2 * n) in
+      let slow =
+        F.descend ctx ~eager:true ~pos:0 F.initial ~bernoulli:(fun p -> p >= 0.5)
+      in
+      let fast, _, _ =
+        F.descend_union ctx ~dsu ~detail:false ~pos:0 F.initial
+          ~bernoulli:(fun p -> p >= 0.5)
+      in
+      Alcotest.(check bool) "fast = slow on deterministic graph" slow fast
+    end
+  done
+
+(* From every reachable intermediate state of a small graph, the exact
+   residual reliability computed by enumerating the machine must match
+   brute force conditioning; and fast-descent sampling must agree
+   statistically. *)
+let t_descend_union_statistical_midstate () =
+  let g = fig1 () in
+  let ts = [ 0; 3; 4 ] in
+  let order = O.order_edges O.Natural g in
+  let ctx = ctx_of g ts order in
+  let dsu = Dsu.create (2 * Ugraph.n_vertices g) in
+  let r = rng () in
+  (* Walk two fixed decisions deep, then compare. *)
+  let state2 =
+    match F.step ctx ~eager:true ~pos:0 F.initial ~exists:true with
+    | F.Live st1 -> (
+      match F.step ctx ~eager:true ~pos:1 st1 ~exists:false with
+      | F.Live st2 -> st2
+      | _ -> Alcotest.fail "unexpected sink at depth 2")
+    | _ -> Alcotest.fail "unexpected sink at depth 1"
+  in
+  let expect = exact_from ctx ~pos:2 state2 in
+  let s = 60_000 in
+  let hits = ref 0 in
+  for _ = 1 to s do
+    let c, _, _ =
+      F.descend_union ctx ~dsu ~detail:false ~pos:2 state2
+        ~bernoulli:(fun p -> Prng.bernoulli r p)
+    in
+    if c then incr hits
+  done;
+  let est = float_of_int !hits /. float_of_int s in
+  let sigma = sqrt (expect *. (1. -. expect) /. float_of_int s) +. 1e-9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "midstate estimate %.4f ~ %.4f" est expect)
+    true
+    (Float.abs (est -. expect) <= 5. *. sigma)
+
+let t_descend_detail_consistency () =
+  (* detail:true and detail:false must make identical bernoulli draws
+     (same connectivity) given the same stream. *)
+  let g = two_triangles 0.5 in
+  let ts = [ 0; 4 ] in
+  let order = O.order_edges O.Bfs g in
+  let ctx = ctx_of g ts order in
+  let dsu = Dsu.create (2 * Ugraph.n_vertices g) in
+  for seed = 0 to 49 do
+    let mk () =
+      let r = Prng.create seed in
+      fun p -> Prng.bernoulli r p
+    in
+    let c1, _, _ =
+      F.descend_union ctx ~dsu ~detail:false ~pos:0 F.initial ~bernoulli:(mk ())
+    in
+    let c2, h, logq =
+      F.descend_union ctx ~dsu ~detail:true ~pos:0 F.initial ~bernoulli:(mk ())
+    in
+    Alcotest.(check bool) "same connectivity" c1 c2;
+    Alcotest.(check bool) "hash nonzero" true (h <> 0);
+    Alcotest.(check bool) "logq <= 0" true (logq <= 0.)
+  done
+
+(* Sparse-representation specifics. *)
+
+let t_initial_state_empty () =
+  Alcotest.(check int) "no components" 0 (F.component_count F.initial);
+  Alcotest.(check int) "empty exact key" 1 (Array.length (F.key_exact F.initial));
+  Alcotest.(check int) "empty flags key" 1 (Array.length (F.key_flags F.initial))
+
+let t_nonterminal_edges_stay_implicit () =
+  (* Processing a non-existent edge between non-terminals keeps the
+     state empty (the vertices stay implicit singletons). *)
+  let g = path4 0.5 in
+  let ctx = ctx_of g [ 0; 3 ] (Array.init 3 Fun.id) in
+  (* Edge 1 = (1,2): neither endpoint is a terminal. But position 0
+     processes edge (0,1) whose endpoint 0 is a terminal. Use a custom
+     order starting with (1,2). *)
+  let ctx2 = ctx_of g [ 0; 3 ] [| 1; 0; 2 |] in
+  ignore ctx;
+  match F.step ctx2 ~eager:true ~pos:0 F.initial ~exists:false with
+  | F.Live st -> Alcotest.(check int) "still empty" 0 (F.component_count st)
+  | _ -> Alcotest.fail "expected live"
+
+let t_existent_edge_materialises () =
+  let g = path4 0.5 in
+  let ctx = ctx_of g [ 0; 3 ] [| 1; 0; 2 |] in
+  match F.step ctx ~eager:true ~pos:0 F.initial ~exists:true with
+  | F.Live st ->
+    Alcotest.(check int) "one merged component" 1 (F.component_count st);
+    Alcotest.(check (array int)) "no terminals in it" [| 0 |]
+      (F.component_terminals st)
+  | _ -> Alcotest.fail "expected live"
+
+let t_terminal_entry_materialises () =
+  let g = path4 0.5 in
+  let ctx = ctx_of g [ 0; 3 ] (Array.init 3 Fun.id) in
+  (* Edge (0,1) non-existent: terminal 0 enters, must be explicit;
+     it also LEAVES at pos 0 (its only edge) -> Sink0. *)
+  (match F.step ctx ~eager:true ~pos:0 F.initial ~exists:false with
+  | F.Sink0 -> ()
+  | _ -> Alcotest.fail "expected sink0: terminal 0 stranded");
+  (* Existent: terminal 0 merges with vertex 1 and departs; the
+     component lives on through vertex 1. *)
+  match F.step ctx ~eager:true ~pos:0 F.initial ~exists:true with
+  | F.Live st ->
+    Alcotest.(check int) "one component" 1 (F.component_count st);
+    Alcotest.(check (array int)) "carrying one terminal" [| 1 |]
+      (F.component_terminals st)
+  | _ -> Alcotest.fail "expected live"
+
+let t_demotion_on_departure () =
+  (* Graph: edges (0,1), (1,2), (2,3) with terminals 0 and 3 won't
+     demote; use terminals {0, 3} on a graph where a non-terminal pair
+     merges and one member departs: 0-1, 0-2, 1-3 with terminals 2,3.
+     Edge order: (0,1) existent -> comp {0,1}; then (0,2): 0 departs
+     (last edge of 0)... construct explicitly. *)
+  let g = graph ~n:4 [ (0, 1, 0.5); (0, 2, 0.5); (1, 3, 0.5) ] in
+  let ts = [ 2; 3 ] in
+  let ctx = ctx_of g ts (Array.init 3 Fun.id) in
+  match F.step ctx ~eager:true ~pos:0 F.initial ~exists:true with
+  | F.Live st1 -> (
+    Alcotest.(check int) "merged pair explicit" 1 (F.component_count st1);
+    (* (0,2) non-existent: 0 departs; comp {1} has tc=0 -> demoted. *)
+    match F.step ctx ~eager:true ~pos:1 st1 ~exists:false with
+    | F.Sink0 ->
+      (* terminal 2's only edge was (0,2): stranded. Correct! *)
+      ()
+    | F.Live _ -> Alcotest.fail "terminal 2 should be stranded"
+    | F.Sink1 -> Alcotest.fail "cannot be connected")
+  | _ -> Alcotest.fail "expected live"
+
+let t_exactness_under_adversarial_orders () =
+  (* Random graphs x random orders: probability-weighted enumeration of
+     the machine must equal brute force. *)
+  let r = rng () in
+  for trial = 1 to 60 do
+    let n = 3 + Prng.int r 4 in
+    let m = 2 + Prng.int r 7 in
+    let es =
+      List.init m (fun _ ->
+          (Prng.int r n, Prng.int r n, float_of_int (Prng.int r 11) /. 10.))
+    in
+    let g = graph ~n es in
+    let ts = Workload.Generators.random_terminals ~seed:trial g ~k:2 in
+    if List.for_all (fun t -> Ugraph.degree g t > 0) ts then begin
+      let order = O.order_edges (O.Random trial) g in
+      let ctx = ctx_of g ts order in
+      let expect = BF.reliability g ~terminals:ts in
+      let got = exact_from ctx ~pos:0 F.initial in
+      check_close ~eps:1e-9 (Printf.sprintf "trial %d" trial) expect got
+    end
+  done
+
+let t_remaining_degrees () =
+  let g = path4 0.5 in
+  let ctx = ctx_of g [ 0; 3 ] (Array.init 3 Fun.id) in
+  Alcotest.(check (array int)) "after pos 0" [| 0; 1; 2; 1 |]
+    (F.remaining_degrees ctx ~pos:0);
+  Alcotest.(check (array int)) "after last pos" [| 0; 0; 0; 0 |]
+    (F.remaining_degrees ctx ~pos:2)
+
+let t_descend_union_dsu_too_small () =
+  let g = fig1 () in
+  let ts = [ 0; 3; 4 ] in
+  let ctx = ctx_of g ts (Array.init 6 Fun.id) in
+  let small = Dsu.create 2 in
+  Alcotest.check_raises "small dsu"
+    (Invalid_argument "Fstate.descend_union: DSU too small") (fun () ->
+      ignore
+        (F.descend_union ctx ~dsu:small ~detail:false ~pos:0 F.initial
+           ~bernoulli:(fun _ -> true)))
+
+let suite =
+  ( "fstate-extra",
+    [
+      Alcotest.test_case "fast descent = slow descent (deterministic)" `Quick
+        t_descend_union_deterministic;
+      Alcotest.test_case "fast descent unbiased from mid-state" `Slow
+        t_descend_union_statistical_midstate;
+      Alcotest.test_case "detail on/off consistent" `Quick t_descend_detail_consistency;
+      Alcotest.test_case "initial state is empty" `Quick t_initial_state_empty;
+      Alcotest.test_case "non-terminals stay implicit" `Quick
+        t_nonterminal_edges_stay_implicit;
+      Alcotest.test_case "existent edge materialises" `Quick t_existent_edge_materialises;
+      Alcotest.test_case "terminal entry materialises" `Quick
+        t_terminal_entry_materialises;
+      Alcotest.test_case "demotion on departure" `Quick t_demotion_on_departure;
+      Alcotest.test_case "exact under adversarial orders" `Quick
+        t_exactness_under_adversarial_orders;
+      Alcotest.test_case "remaining degrees" `Quick t_remaining_degrees;
+      Alcotest.test_case "descend_union validates dsu size" `Quick
+        t_descend_union_dsu_too_small;
+    ] )

@@ -1,0 +1,118 @@
+open Testutil
+module Poly = Bddbase.Polynomial
+module BF = Bddbase.Bruteforce
+
+let brute_counts g ~terminals =
+  let m = Ugraph.n_edges g in
+  let counts = Array.make (m + 1) 0. in
+  let dsu = Dsu.create (Ugraph.n_vertices g) in
+  let present = Array.make m false in
+  (match terminals with
+  | [] | [ _ ] ->
+    for mask = 0 to (1 lsl m) - 1 do
+      let j = ref 0 in
+      for i = 0 to m - 1 do
+        if mask land (1 lsl i) <> 0 then incr j
+      done;
+      counts.(!j) <- counts.(!j) +. 1.
+    done
+  | ts ->
+    for mask = 0 to (1 lsl m) - 1 do
+      let j = ref 0 in
+      for i = 0 to m - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          present.(i) <- true;
+          incr j
+        end
+        else present.(i) <- false
+      done;
+      if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present ts then
+        counts.(!j) <- counts.(!j) +. 1.
+    done);
+  counts
+
+let compute g ~terminals =
+  match Poly.compute g ~terminals with
+  | Ok poly -> poly
+  | Error (`Node_budget_exceeded n) -> Alcotest.failf "budget at %d" n
+
+let t_path_counts () =
+  (* Path 0-1-2-3, terminals at the ends: only the full 3-edge subgraph
+     connects them. *)
+  let poly = compute (path4 0.9) ~terminals:[ 0; 3 ] in
+  Alcotest.(check (array (float 0.))) "N" [| 0.; 0.; 0.; 1. |] poly.Poly.counts
+
+let t_cycle_counts () =
+  (* Cycle, opposite terminals: both 3-edge paths work (4 of them?) -
+     check against brute force. *)
+  let g = cycle4 0.5 in
+  let poly = compute g ~terminals:[ 0; 2 ] in
+  Alcotest.(check (array (float 1e-9))) "N matches brute force"
+    (brute_counts g ~terminals:[ 0; 2 ])
+    poly.Poly.counts
+
+let t_single_terminal () =
+  let poly = compute (path4 0.5) ~terminals:[ 1 ] in
+  Alcotest.(check (array (float 0.))) "binomials" [| 1.; 3.; 3.; 1. |] poly.Poly.counts
+
+let t_separated_terminals () =
+  let g = graph ~n:4 [ (0, 1, 0.5); (2, 3, 0.5) ] in
+  let poly = compute g ~terminals:[ 0; 3 ] in
+  Alcotest.(check (array (float 0.))) "all zero" [| 0.; 0.; 0. |] poly.Poly.counts
+
+let t_eval_matches_reliability () =
+  List.iter
+    (fun p ->
+      let g = fig1 ~p () in
+      let ts = [ 0; 3; 4 ] in
+      let poly = compute g ~terminals:ts in
+      check_close ~eps:1e-9
+        (Printf.sprintf "R(%.1f)" p)
+        (BF.reliability g ~terminals:ts)
+        (Poly.eval poly p))
+    [ 0.0; 0.1; 0.5; 0.7; 1.0 ]
+
+let t_connected_subgraphs () =
+  let g = fig1 ~p:0.5 () in
+  let ts = [ 0; 3; 4 ] in
+  let poly = compute g ~terminals:ts in
+  check_close "2^m * R(1/2)"
+    (BF.reliability g ~terminals:ts *. float_of_int (1 lsl 6))
+    (Poly.connected_subgraphs poly)
+
+let t_eval_validation () =
+  let poly = compute (path4 0.5) ~terminals:[ 0; 3 ] in
+  Alcotest.check_raises "p > 1" (Invalid_argument "Polynomial.eval: p outside [0,1]")
+    (fun () -> ignore (Poly.eval poly 1.5))
+
+let prop_counts_match_bruteforce =
+  QCheck.Test.make ~name:"polynomial coefficients = brute force" ~count:150
+    (Test_bddbase.arb_graph_ts ~max_n:7 ~max_m:10 ~max_k:3)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let poly = compute g ~terminals:ts in
+      let expect = brute_counts g ~terminals:ts in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-6) expect poly.Poly.counts)
+
+let prop_eval_matches_uniform_reliability =
+  QCheck.Test.make ~name:"polynomial eval = reliability at uniform p" ~count:100
+    QCheck.(pair (Test_bddbase.arb_graph_ts ~max_n:7 ~max_m:10 ~max_k:3)
+              (float_bound_inclusive 1.))
+    (fun ((n, es, ts), p) ->
+      let g0 = graph ~n es in
+      let g = Ugraph.map_probs (fun _ _ -> p) g0 in
+      let poly = compute g ~terminals:ts in
+      Float.abs (Poly.eval poly p -. BF.reliability g ~terminals:ts) <= 1e-9)
+
+let suite =
+  ( "polynomial",
+    [
+      Alcotest.test_case "path coefficients" `Quick t_path_counts;
+      Alcotest.test_case "cycle coefficients" `Quick t_cycle_counts;
+      Alcotest.test_case "single terminal" `Quick t_single_terminal;
+      Alcotest.test_case "separated terminals" `Quick t_separated_terminals;
+      Alcotest.test_case "eval = reliability" `Quick t_eval_matches_reliability;
+      Alcotest.test_case "connected subgraph count" `Quick t_connected_subgraphs;
+      Alcotest.test_case "eval validation" `Quick t_eval_validation;
+    ]
+    @ qtests [ prop_counts_match_bruteforce; prop_eval_matches_uniform_reliability ] )

@@ -1,0 +1,197 @@
+open Testutil
+module BF = Bddbase.Bruteforce
+module T = Preprocess.Transform
+module P = Preprocess.Pipeline
+
+let exact g ~terminals =
+  match Bddbase.Exact.reliability_float g ~terminals with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail "unexpected DNF"
+
+(* Evaluate a pipeline outcome exactly, to compare with direct R. *)
+let outcome_reliability = function
+  | P.Trivial r -> Xprob.to_float_exn r
+  | P.Reduced { pb; subproblems; _ } ->
+    List.fold_left
+      (fun acc (sp : P.subproblem) -> acc *. exact sp.P.graph ~terminals:sp.P.terminals)
+      (Xprob.to_float_exn pb)
+      subproblems
+
+(* ---- transform ---- *)
+
+let t_transform_series () =
+  (* Path 0-1-2-3 with terminals {0,3}: collapses to one edge p^3. *)
+  let tr = T.run (path4 0.8) ~terminals:[ 0; 3 ] in
+  Alcotest.(check int) "two vertices" 2 (Ugraph.n_vertices tr.T.graph);
+  Alcotest.(check int) "one edge" 1 (Ugraph.n_edges tr.T.graph);
+  check_close "probability" (0.8 ** 3.) (Ugraph.edge tr.T.graph 0).Ugraph.p
+
+let t_transform_parallel () =
+  let g = graph ~n:2 [ (0, 1, 0.5); (0, 1, 0.4); (0, 1, 0.3) ] in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "one edge" 1 (Ugraph.n_edges tr.T.graph);
+  check_close "combined probability"
+    (1. -. (0.5 *. 0.6 *. 0.7))
+    (Ugraph.edge tr.T.graph 0).Ugraph.p
+
+let t_transform_loop () =
+  let g = graph ~n:2 [ (0, 0, 0.9); (0, 1, 0.5) ] in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "loop dropped" 1 (Ugraph.n_edges tr.T.graph)
+
+let t_transform_ear () =
+  (* Terminals {0,3} on a path, plus an ear 1-4-5-1: the ear collapses
+     to a self-loop and disappears. *)
+  let g =
+    graph ~n:6
+      [ (0, 1, 0.5); (1, 2, 0.5); (2, 3, 0.5); (1, 4, 0.6); (4, 5, 0.6); (5, 1, 0.6) ]
+  in
+  let tr = T.run g ~terminals:[ 0; 3 ] in
+  Alcotest.(check int) "collapses to single edge" 1 (Ugraph.n_edges tr.T.graph);
+  check_close "p = 0.5^3" (0.5 ** 3.) (Ugraph.edge tr.T.graph 0).Ugraph.p
+
+let t_transform_floating_cycle () =
+  (* A terminal edge plus an unreachable terminal-free triangle. *)
+  let g =
+    graph ~n:5 [ (0, 1, 0.5); (2, 3, 0.6); (3, 4, 0.6); (4, 2, 0.6) ]
+  in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "cycle deleted" 1 (Ugraph.n_edges tr.T.graph);
+  Alcotest.(check int) "vertices compacted" 2 (Ugraph.n_vertices tr.T.graph)
+
+let t_transform_dangling () =
+  (* Pendant path 2-3-4 off a terminal edge 0-1 (attached at 1). *)
+  let g = graph ~n:5 [ (0, 1, 0.5); (1, 2, 0.6); (2, 3, 0.6); (3, 4, 0.6) ] in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "pendants dropped" 1 (Ugraph.n_edges tr.T.graph)
+
+let t_transform_keeps_terminal_degree2 () =
+  (* A degree-2 terminal must not be contracted away. *)
+  let tr = T.run (path4 0.8) ~terminals:[ 0; 1; 3 ] in
+  Alcotest.(check int) "terminal 1 kept" 3 (Ugraph.n_vertices tr.T.graph);
+  Alcotest.(check int) "edges merged around it" 2 (Ugraph.n_edges tr.T.graph)
+
+let t_transform_idempotent () =
+  let g = two_triangles 0.5 in
+  let tr = T.run g ~terminals:[ 0; 4 ] in
+  let tr2 = T.run tr.T.graph ~terminals:tr.T.terminals in
+  Alcotest.(check int) "second run is identity (edges)"
+    (Ugraph.n_edges tr.T.graph) (Ugraph.n_edges tr2.T.graph);
+  Alcotest.(check int) "second run took zero rounds... or one no-op" 0 tr2.T.rounds
+
+(* ---- pipeline ---- *)
+
+let t_pipeline_two_triangles () =
+  let g = two_triangles 0.5 in
+  match P.run g ~terminals:[ 0; 4 ] with
+  | P.Trivial _ -> Alcotest.fail "expected reduction"
+  | P.Reduced { pb; subproblems; stats } ->
+    check_close "bridge probability" 0.5 (Xprob.to_float_exn pb);
+    Alcotest.(check int) "two subproblems" 2 (List.length subproblems);
+    Alcotest.(check int) "bridges" 1 stats.P.n_bridges;
+    (* Each triangle with two terminals transforms: the two-path side
+       becomes parallel edges which merge into one; so 2 or fewer edges
+       per side. *)
+    List.iter
+      (fun (sp : P.subproblem) ->
+        Alcotest.(check bool) "small subproblem" true (Ugraph.n_edges sp.P.graph <= 2))
+      subproblems;
+    Alcotest.(check bool) "ratio < 1" true (P.reduction_ratio stats < 1.)
+
+let t_pipeline_trivial_cases () =
+  let g = path4 0.5 in
+  (match P.run g ~terminals:[ 2 ] with
+  | P.Trivial r -> check_close "k=1" 1. (Xprob.to_float_exn r)
+  | P.Reduced _ -> Alcotest.fail "expected trivial");
+  let disconnected = graph ~n:4 [ (0, 1, 0.9); (2, 3, 0.9) ] in
+  (match P.run disconnected ~terminals:[ 0; 3 ] with
+  | P.Trivial r -> check_close "separated" 0. (Xprob.to_float_exn r)
+  | P.Reduced _ -> Alcotest.fail "expected trivial");
+  let isolated = graph ~n:3 [ (0, 1, 0.5) ] in
+  match P.run isolated ~terminals:[ 0; 2 ] with
+  | P.Trivial r -> check_close "isolated" 0. (Xprob.to_float_exn r)
+  | P.Reduced _ -> Alcotest.fail "expected trivial"
+
+let t_pipeline_path_fully_decomposes () =
+  (* A pure path between the terminals decomposes into bridges only:
+     no subproblems remain and pb is the whole reliability. *)
+  let g = path4 0.8 in
+  match P.run g ~terminals:[ 0; 3 ] with
+  | P.Trivial _ -> Alcotest.fail "expected reduction"
+  | P.Reduced { pb; subproblems; _ } ->
+    Alcotest.(check int) "no subproblems" 0 (List.length subproblems);
+    check_close "pb = p^3" (0.8 ** 3.) (Xprob.to_float_exn pb)
+
+let t_pipeline_preserves_reliability_known () =
+  List.iter
+    (fun (name, g, ts) ->
+      let direct = BF.reliability g ~terminals:ts in
+      let via = outcome_reliability (P.run g ~terminals:ts) in
+      check_close ~eps:1e-9 name direct via)
+    [
+      ("fig1", fig1 (), [ 0; 3; 4 ]);
+      ("two triangles", two_triangles 0.6, [ 0; 4 ]);
+      ("cycle", cycle4 0.5, [ 0; 2 ]);
+      ("path k=3", path4 0.7, [ 0; 2; 3 ]);
+      ( "barbell with pendant",
+        graph ~n:8
+          [ (0, 1, 0.5); (1, 2, 0.5); (2, 0, 0.5); (2, 3, 0.9); (3, 4, 0.8);
+            (4, 5, 0.5); (5, 6, 0.5); (6, 4, 0.5); (5, 7, 0.4) ],
+        [ 0; 6 ] );
+    ]
+
+(* ---- property tests ---- *)
+
+let arb = Test_bddbase.arb_graph_ts
+
+let prop_transform_preserves_reliability =
+  QCheck.Test.make ~name:"transform preserves R exactly" ~count:300
+    (arb ~max_n:8 ~max_m:12 ~max_k:4) (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let direct = BF.reliability g ~terminals:ts in
+      let tr = T.run g ~terminals:ts in
+      QCheck.assume (Ugraph.n_edges tr.T.graph <= BF.max_edges);
+      let after = BF.reliability tr.T.graph ~terminals:tr.T.terminals in
+      Float.abs (direct -. after) <= 1e-9)
+
+let prop_pipeline_preserves_reliability =
+  QCheck.Test.make ~name:"pipeline preserves R = pb * prod Ri" ~count:300
+    (arb ~max_n:9 ~max_m:13 ~max_k:4) (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let direct = BF.reliability g ~terminals:ts in
+      let via = outcome_reliability (P.run g ~terminals:ts) in
+      Float.abs (direct -. via) <= 1e-9)
+
+let prop_pipeline_shrinks =
+  QCheck.Test.make ~name:"pipeline never grows the problem" ~count:200
+    (arb ~max_n:9 ~max_m:13 ~max_k:3) (fun (n, es, ts) ->
+      let g = graph ~n es in
+      match P.run g ~terminals:ts with
+      | P.Trivial _ -> true
+      | P.Reduced { stats; _ } ->
+        stats.P.max_subproblem_edges <= stats.P.original_edges
+        && stats.P.pruned_edges <= stats.P.original_edges
+        && stats.P.final_edges <= stats.P.pruned_edges)
+
+let suite =
+  ( "preprocess",
+    [
+      Alcotest.test_case "transform: series chain" `Quick t_transform_series;
+      Alcotest.test_case "transform: parallel edges" `Quick t_transform_parallel;
+      Alcotest.test_case "transform: self loop" `Quick t_transform_loop;
+      Alcotest.test_case "transform: ear" `Quick t_transform_ear;
+      Alcotest.test_case "transform: floating cycle" `Quick t_transform_floating_cycle;
+      Alcotest.test_case "transform: dangling path" `Quick t_transform_dangling;
+      Alcotest.test_case "transform: keeps degree-2 terminal" `Quick t_transform_keeps_terminal_degree2;
+      Alcotest.test_case "transform: idempotent" `Quick t_transform_idempotent;
+      Alcotest.test_case "pipeline: two triangles" `Quick t_pipeline_two_triangles;
+      Alcotest.test_case "pipeline: trivial cases" `Quick t_pipeline_trivial_cases;
+      Alcotest.test_case "pipeline: path decomposes fully" `Quick t_pipeline_path_fully_decomposes;
+      Alcotest.test_case "pipeline preserves R (known)" `Quick t_pipeline_preserves_reliability_known;
+    ]
+    @ qtests
+        [
+          prop_transform_preserves_reliability;
+          prop_pipeline_preserves_reliability;
+          prop_pipeline_shrinks;
+        ] )

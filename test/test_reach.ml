@@ -1,0 +1,111 @@
+open Testutil
+module BF = Bddbase.Bruteforce
+
+let t_two_terminal () =
+  let g = fig1 () in
+  let expect = BF.reliability g ~terminals:[ 0; 4 ] in
+  let rep = Reach.two_terminal g ~source:0 ~target:4 in
+  Alcotest.(check bool) "exact" true rep.Netrel.Reliability.exact;
+  check_close ~eps:1e-9 "value" expect rep.Netrel.Reliability.value
+
+let t_two_terminal_validation () =
+  let g = fig1 () in
+  Alcotest.check_raises "same vertex" (Invalid_argument "Reach: source equals target")
+    (fun () -> ignore (Reach.two_terminal g ~source:1 ~target:1));
+  Alcotest.check_raises "range" (Invalid_argument "Reach: vertex out of range")
+    (fun () -> ignore (Reach.two_terminal g ~source:0 ~target:99))
+
+let t_hop_distance () =
+  let g = path4 0.5 in
+  let all = Array.make 3 true in
+  Alcotest.(check (option int)) "end to end" (Some 3) (Reach.hop_distance g ~present:all 0 3);
+  Alcotest.(check (option int)) "self" (Some 0) (Reach.hop_distance g ~present:all 2 2);
+  let broken = [| true; false; true |] in
+  Alcotest.(check (option int)) "cut" None (Reach.hop_distance g ~present:broken 0 3);
+  Alcotest.(check (option int)) "within piece" (Some 1)
+    (Reach.hop_distance g ~present:broken 2 3)
+
+let t_distance_exact_path () =
+  (* On a path with d >= length, the query equals plain s-t
+     reliability; with d < length it is 0. *)
+  let g = path4 0.8 in
+  check_close "d=3 equals st-reliability" (0.8 ** 3.)
+    (Reach.distance_constrained_exact g ~source:0 ~target:3 ~d:3);
+  check_close "d=2 impossible" 0.
+    (Reach.distance_constrained_exact g ~source:0 ~target:3 ~d:2);
+  check_close "d huge" (0.8 ** 3.)
+    (Reach.distance_constrained_exact g ~source:0 ~target:3 ~d:10)
+
+let t_distance_exact_detour () =
+  (* Cycle: direct edge (1 hop) or the long way (3 hops). *)
+  let g = cycle4 0.5 in
+  let direct = 0.5 in
+  let detour = 0.5 ** 3. in
+  check_close "d=1: direct only" direct
+    (Reach.distance_constrained_exact g ~source:0 ~target:1 ~d:1);
+  check_close "d=3: either route" (direct +. ((1. -. direct) *. detour))
+    (Reach.distance_constrained_exact g ~source:0 ~target:1 ~d:3);
+  (* d=3 unconstrained equals two-terminal reliability here. *)
+  check_close "d=3 = st reliability" (BF.reliability g ~terminals:[ 0; 1 ])
+    (Reach.distance_constrained_exact g ~source:0 ~target:1 ~d:3)
+
+let t_distance_mc_statistics () =
+  let g = cycle4 0.5 in
+  let expect = Reach.distance_constrained_exact g ~source:0 ~target:1 ~d:3 in
+  let est = Reach.distance_constrained_mc ~seed:5 g ~source:0 ~target:1 ~d:3 ~samples:40_000 in
+  let sigma = sqrt (expect *. (1. -. expect) /. 40_000.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mc %.4f ~ %.4f" est.Reach.value expect)
+    true
+    (Float.abs (est.Reach.value -. expect) <= 5. *. sigma)
+
+let t_distance_validation () =
+  let g = path4 0.5 in
+  Alcotest.check_raises "negative d" (Invalid_argument "Reach: negative distance bound")
+    (fun () -> ignore (Reach.distance_constrained_exact g ~source:0 ~target:3 ~d:(-1)));
+  Alcotest.check_raises "zero samples" (Invalid_argument "Reach: samples <= 0")
+    (fun () ->
+      ignore (Reach.distance_constrained_mc g ~source:0 ~target:3 ~d:2 ~samples:0))
+
+let prop_distance_monotone_in_d =
+  QCheck.Test.make ~name:"P(dist <= d) nondecreasing in d" ~count:100
+    (Test_bddbase.arb_graph_ts ~max_n:6 ~max_m:9 ~max_k:2)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      match ts with
+      | [ s; t ] ->
+        let values =
+          List.map (fun d -> Reach.distance_constrained_exact g ~source:s ~target:t ~d)
+            [ 0; 1; 2; 3; 10 ]
+        in
+        let rec mono = function
+          | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+          | _ -> true
+        in
+        mono values
+      | _ -> QCheck.assume_fail ())
+
+let prop_distance_unbounded_equals_st =
+  QCheck.Test.make ~name:"P(dist <= n) = s-t reliability" ~count:100
+    (Test_bddbase.arb_graph_ts ~max_n:6 ~max_m:9 ~max_k:2)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      match ts with
+      | [ s; t ] ->
+        let unbounded = Reach.distance_constrained_exact g ~source:s ~target:t ~d:n in
+        let st = BF.reliability g ~terminals:[ s; t ] in
+        Float.abs (unbounded -. st) <= 1e-9
+      | _ -> QCheck.assume_fail ())
+
+let suite =
+  ( "reach",
+    [
+      Alcotest.test_case "two-terminal = k=2 reliability" `Quick t_two_terminal;
+      Alcotest.test_case "two-terminal validation" `Quick t_two_terminal_validation;
+      Alcotest.test_case "hop distance" `Quick t_hop_distance;
+      Alcotest.test_case "distance-constrained exact: path" `Quick t_distance_exact_path;
+      Alcotest.test_case "distance-constrained exact: detour" `Quick t_distance_exact_detour;
+      Alcotest.test_case "distance-constrained MC statistics" `Slow t_distance_mc_statistics;
+      Alcotest.test_case "distance validation" `Quick t_distance_validation;
+    ]
+    @ qtests [ prop_distance_monotone_in_d; prop_distance_unbounded_equals_st ] )

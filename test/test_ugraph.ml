@@ -1,0 +1,195 @@
+open Testutil
+
+let t_basic () =
+  let g = fig1 () in
+  Alcotest.(check int) "vertices" 5 (Ugraph.n_vertices g);
+  Alcotest.(check int) "edges" 6 (Ugraph.n_edges g);
+  check_close "avg degree" (12. /. 5.) (Ugraph.avg_degree g);
+  check_close "avg prob" 0.7 (Ugraph.avg_prob g)
+
+let t_degrees () =
+  let g = fig1 () in
+  Alcotest.(check (list int)) "degree sequence"
+    [ 2; 3; 2; 3; 2 ]
+    (List.init 5 (Ugraph.degree g))
+
+let t_incident () =
+  let g = fig1 () in
+  (* Vertex 3 touches edges (1,3) id 2, (2,3) id 3, (3,4) id 5. *)
+  let eids = Array.to_list (Ugraph.incident_eids g 3) |> List.sort compare in
+  Alcotest.(check (list int)) "incident eids" [ 2; 3; 5 ] eids;
+  let nbrs = Array.to_list (Ugraph.neighbours g 3) |> List.sort compare in
+  Alcotest.(check (list int)) "neighbours" [ 1; 2; 4 ] nbrs
+
+let t_iter_incident_matches () =
+  let g = two_triangles 0.5 in
+  for v = 0 to Ugraph.n_vertices g - 1 do
+    let collected = ref [] in
+    Ugraph.iter_incident g v (fun ~eid ~other -> collected := (eid, other) :: !collected);
+    Alcotest.(check int)
+      (Printf.sprintf "degree of %d" v)
+      (Ugraph.degree g v)
+      (List.length !collected)
+  done
+
+let t_validation () =
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Ugraph: edge (0,5) outside vertex range [0,3)") (fun () ->
+      ignore (graph ~n:3 [ (0, 5, 0.5) ]));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Ugraph: probability 1.5 outside [0,1]") (fun () ->
+      ignore (graph ~n:3 [ (0, 1, 1.5) ]))
+
+let t_self_loop_parallel () =
+  let plain = fig1 () in
+  Alcotest.(check bool) "no self loop" false (Ugraph.has_self_loop plain);
+  Alcotest.(check bool) "no parallel" false (Ugraph.has_parallel_edge plain);
+  let loopy = graph ~n:2 [ (0, 0, 0.5); (0, 1, 0.5) ] in
+  Alcotest.(check bool) "self loop" true (Ugraph.has_self_loop loopy);
+  Alcotest.(check int) "self loop counted once in degree" 2 (Ugraph.degree loopy 0);
+  let para = graph ~n:2 [ (0, 1, 0.5); (1, 0, 0.3) ] in
+  Alcotest.(check bool) "parallel detected regardless of orientation" true
+    (Ugraph.has_parallel_edge para)
+
+let t_other_endpoint () =
+  let e : Ugraph.edge = { u = 3; v = 7; p = 0.5 } in
+  Alcotest.(check int) "other of u" 7 (Ugraph.other_endpoint e 3);
+  Alcotest.(check int) "other of v" 3 (Ugraph.other_endpoint e 7);
+  let loop : Ugraph.edge = { u = 2; v = 2; p = 0.5 } in
+  Alcotest.(check int) "self loop" 2 (Ugraph.other_endpoint loop 2);
+  Alcotest.check_raises "non endpoint"
+    (Invalid_argument "Ugraph.other_endpoint: vertex not an endpoint") (fun () ->
+      ignore (Ugraph.other_endpoint e 1))
+
+let t_map_probs () =
+  let g = fig1 () in
+  let g' = Ugraph.map_probs (fun _ e -> e.Ugraph.p /. 2.) g in
+  check_close "halved avg prob" 0.35 (Ugraph.avg_prob g');
+  check_close "original untouched" 0.7 (Ugraph.avg_prob g)
+
+let t_induced () =
+  let g = two_triangles 0.5 in
+  let sub, old_of_new = Ugraph.induced g [| 0; 1; 2 |] in
+  Alcotest.(check int) "sub vertices" 3 (Ugraph.n_vertices sub);
+  Alcotest.(check int) "sub edges (first triangle only)" 3 (Ugraph.n_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2 |] old_of_new;
+  let ts = Ugraph.relabel_terminals ~old_of_new [ 2; 5 ] in
+  Alcotest.(check (list int)) "terminal relabel drops missing" [ 2 ] ts
+
+let t_induced_duplicate () =
+  let g = fig1 () in
+  Alcotest.check_raises "duplicate vertex"
+    (Invalid_argument "Ugraph.induced: duplicate vertex") (fun () ->
+      ignore (Ugraph.induced g [| 0; 0 |]))
+
+let t_terminal_validation () =
+  let g = fig1 () in
+  Ugraph.validate_terminals g [ 0; 4 ];
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Ugraph.validate_terminals: empty terminal set") (fun () ->
+      Ugraph.validate_terminals g []);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Ugraph.validate_terminals: duplicate terminal 1") (fun () ->
+      Ugraph.validate_terminals g [ 1; 1 ]);
+  Alcotest.check_raises "range"
+    (Invalid_argument "Ugraph.validate_terminals: vertex 9 out of range") (fun () ->
+      Ugraph.validate_terminals g [ 9 ])
+
+let t_io_roundtrip () =
+  let g = fig1 () in
+  let buf = Buffer.create 256 in
+  Ugraph.to_buffer buf g;
+  let g' = Ugraph.of_string (Buffer.contents buf) in
+  Alcotest.(check int) "vertices" (Ugraph.n_vertices g) (Ugraph.n_vertices g');
+  Alcotest.(check int) "edges" (Ugraph.n_edges g) (Ugraph.n_edges g');
+  Ugraph.iter_edges
+    (fun i (e : Ugraph.edge) ->
+      let e' = Ugraph.edge g' i in
+      Alcotest.(check int) "u" e.u e'.Ugraph.u;
+      Alcotest.(check int) "v" e.v e'.Ugraph.v;
+      check_close "p" e.p e'.Ugraph.p)
+    g
+
+let t_io_comments_blanks () =
+  let g = Ugraph.of_string "# header\n\n  3 \n# mid\n0 1 0.25\n\n 1 2 0.75 \n" in
+  Alcotest.(check int) "vertices" 3 (Ugraph.n_vertices g);
+  Alcotest.(check int) "edges" 2 (Ugraph.n_edges g)
+
+let t_io_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Ugraph.of_channel: empty input")
+    (fun () -> ignore (Ugraph.of_string "# only comments\n"));
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Ugraph.of_channel: bad edge line: 0 1") (fun () ->
+      ignore (Ugraph.of_string "2\n0 1\n"))
+
+let t_file_roundtrip () =
+  let g = two_triangles 0.42 in
+  let path = Filename.temp_file "ugraph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ugraph.to_file path g;
+      let g' = Ugraph.of_file path in
+      Alcotest.(check int) "edges" (Ugraph.n_edges g) (Ugraph.n_edges g');
+      check_close "avg prob" (Ugraph.avg_prob g) (Ugraph.avg_prob g'))
+
+(* Random graph generator for property tests, reused by other suites. *)
+let arb_graph ~max_n ~max_m =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 max_n >>= fun n ->
+      int_range 0 max_m >>= fun m ->
+      let edge = map3 (fun u v p -> (u mod n, v mod n, p)) small_nat small_nat (float_bound_inclusive 1.) in
+      map (fun es -> (n, es)) (list_repeat m edge))
+  in
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d; %s" n
+        (String.concat " "
+           (List.map (fun (u, v, p) -> Printf.sprintf "(%d,%d,%.2f)" u v p) es)))
+    gen
+
+let prop_adjacency_consistent =
+  QCheck.Test.make ~name:"adjacency lists edges exactly twice" ~count:300
+    (arb_graph ~max_n:15 ~max_m:40) (fun (n, es) ->
+      let g = graph ~n es in
+      (* Sum of degrees = 2 * non-loop edges + loops. *)
+      let loops = List.length (List.filter (fun (u, v, _) -> u = v) es) in
+      let total_deg = List.fold_left (fun acc v -> acc + Ugraph.degree g v) 0 (List.init n Fun.id) in
+      total_deg = (2 * (List.length es - loops)) + loops)
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"text io roundtrip" ~count:100 (arb_graph ~max_n:10 ~max_m:20)
+    (fun (n, es) ->
+      let g = graph ~n es in
+      let buf = Buffer.create 256 in
+      Ugraph.to_buffer buf g;
+      let g' = Ugraph.of_string (Buffer.contents buf) in
+      Ugraph.n_vertices g = Ugraph.n_vertices g'
+      && Ugraph.n_edges g = Ugraph.n_edges g'
+      && Ugraph.fold_edges
+           (fun ok i (e : Ugraph.edge) ->
+             let e' = Ugraph.edge g' i in
+             ok && e.u = e'.Ugraph.u && e.v = e'.Ugraph.v && e.p = e'.Ugraph.p)
+           true g)
+
+let suite =
+  ( "ugraph",
+    [
+      Alcotest.test_case "basic stats" `Quick t_basic;
+      Alcotest.test_case "degrees" `Quick t_degrees;
+      Alcotest.test_case "incident edges" `Quick t_incident;
+      Alcotest.test_case "iter_incident totals" `Quick t_iter_incident_matches;
+      Alcotest.test_case "validation" `Quick t_validation;
+      Alcotest.test_case "self loop / parallel" `Quick t_self_loop_parallel;
+      Alcotest.test_case "other_endpoint" `Quick t_other_endpoint;
+      Alcotest.test_case "map_probs" `Quick t_map_probs;
+      Alcotest.test_case "induced subgraph" `Quick t_induced;
+      Alcotest.test_case "induced duplicate" `Quick t_induced_duplicate;
+      Alcotest.test_case "terminal validation" `Quick t_terminal_validation;
+      Alcotest.test_case "io roundtrip" `Quick t_io_roundtrip;
+      Alcotest.test_case "io comments/blanks" `Quick t_io_comments_blanks;
+      Alcotest.test_case "io errors" `Quick t_io_errors;
+      Alcotest.test_case "file roundtrip" `Quick t_file_roundtrip;
+    ]
+    @ qtests [ prop_adjacency_consistent; prop_io_roundtrip ] )

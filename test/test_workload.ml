@@ -1,0 +1,186 @@
+open Testutil
+module G = Workload.Generators
+module P = Workload.Probability
+module D = Workload.Datasets
+
+let t_karate_shape () =
+  let g = Workload.Karate.graph () in
+  Alcotest.(check int) "34 vertices" 34 (Ugraph.n_vertices g);
+  Alcotest.(check int) "78 edges" 78 (Ugraph.n_edges g);
+  Alcotest.(check bool) "connected" true (Graphalgo.Connectivity.is_connected g);
+  Alcotest.(check bool) "no parallels" false (Ugraph.has_parallel_edge g);
+  (* Vertex 33 (id 32 in 0-indexing is vertex 33; the instructor hub is
+     vertex 34 -> id 33) has the famous maximum degree 17. *)
+  Alcotest.(check int) "hub degree" 17 (Ugraph.degree g 33)
+
+let t_karate_seeded () =
+  let a = Workload.Karate.graph ~seed:5 () and b = Workload.Karate.graph ~seed:5 () in
+  check_close "same seed, same probabilities" (Ugraph.avg_prob a) (Ugraph.avg_prob b);
+  let c = Workload.Karate.graph ~seed:6 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Ugraph.avg_prob a <> Ugraph.avg_prob c)
+
+let t_largest_component () =
+  let g = graph ~n:6 [ (0, 1, 0.5); (1, 2, 0.5); (3, 4, 0.5) ] in
+  let lc = G.largest_component g in
+  Alcotest.(check int) "three vertices" 3 (Ugraph.n_vertices lc);
+  Alcotest.(check int) "two edges" 2 (Ugraph.n_edges lc)
+
+let t_preferential_attachment () =
+  let g, alphas = G.preferential_attachment ~seed:1 ~n:500 ~edges_per_vertex:4 in
+  Alcotest.(check bool) "connected" true (Graphalgo.Connectivity.is_connected g);
+  Alcotest.(check int) "alphas align with edges" (Ugraph.n_edges g) (Array.length alphas);
+  Alcotest.(check bool) "avg degree near 2*epv" true
+    (let d = Ugraph.avg_degree g in
+     d > 5. && d < 9.);
+  Alcotest.(check bool) "has a hub"
+    true
+    (List.exists (fun v -> Ugraph.degree g v > 20) (List.init (Ugraph.n_vertices g) Fun.id))
+
+let t_grid_road () =
+  let g, lengths = G.grid_road ~seed:1 ~rows:20 ~cols:20 ~keep:0.25 in
+  Alcotest.(check int) "all grid vertices" 400 (Ugraph.n_vertices g);
+  Alcotest.(check bool) "connected" true (Graphalgo.Connectivity.is_connected g);
+  Alcotest.(check int) "lengths align" (Ugraph.n_edges g) (Array.length lengths);
+  let d = Ugraph.avg_degree g in
+  Alcotest.(check bool) (Printf.sprintf "sparse: avg deg %.2f" d) true (d > 1.9 && d < 3.2)
+
+let t_power_law () =
+  let g = G.power_law ~seed:1 ~n:400 ~target_edges:4000 ~exponent:0.8 in
+  Alcotest.(check bool) "connected" true (Graphalgo.Connectivity.is_connected g);
+  let d = Ugraph.avg_degree g in
+  Alcotest.(check bool) (Printf.sprintf "dense: avg deg %.1f" d) true (d > 10.)
+
+let t_bipartite () =
+  let g = G.bipartite_affiliation ~seed:1 ~people:136 ~groups:5 ~memberships:160 in
+  Alcotest.(check bool) "connected" true (Graphalgo.Connectivity.is_connected g);
+  Alcotest.(check bool) "about the right size" true
+    (Ugraph.n_vertices g >= 100 && Ugraph.n_edges g <= 160)
+
+let t_random_terminals () =
+  let g = Workload.Karate.graph () in
+  let ts = G.random_terminals ~seed:3 g ~k:5 in
+  Alcotest.(check int) "five terminals" 5 (List.length ts);
+  Ugraph.validate_terminals g ts;
+  Alcotest.(check (list int)) "deterministic" ts (G.random_terminals ~seed:3 g ~k:5)
+
+let t_probability_uniform () =
+  let g = P.uniform ~seed:1 (fig1 ()) in
+  Ugraph.iter_edges
+    (fun _ (e : Ugraph.edge) ->
+      Alcotest.(check bool) "in (0,1)" true (e.p > 0. && e.p < 1.))
+    g
+
+let t_probability_coauthor () =
+  let g = graph ~n:3 [ (0, 1, 0.5); (1, 2, 0.5) ] in
+  let g' = P.coauthor ~alphas:[| 1; 5 |] g in
+  let p0 = (Ugraph.edge g' 0).Ugraph.p and p1 = (Ugraph.edge g' 1).Ugraph.p in
+  check_close "alpha=1" (Float.log 2. /. Float.log 7.) p0;
+  check_close "alpha=alphaM" (Float.log 6. /. Float.log 7.) p1;
+  Alcotest.(check bool) "more collaboration, higher p" true (p1 > p0)
+
+let t_probability_calibrate () =
+  let g = P.uniform ~seed:9 (two_triangles 0.5) in
+  List.iter
+    (fun target ->
+      let g' = P.calibrate_mean ~target g in
+      check_close ~eps:0.02 (Printf.sprintf "mean ~ %.2f" target) target
+        (Ugraph.avg_prob g'))
+    [ 0.2; 0.391; 0.6 ]
+
+let t_datasets_table2_shape () =
+  (* Cheap scale so the test stays fast; check each dataset matches its
+     class' degree/probability profile. *)
+  let approx name lo hi x =
+    Alcotest.(check bool) (Printf.sprintf "%s: %.3f in [%.2f, %.2f]" name x lo hi)
+      true (lo <= x && x <= hi)
+  in
+  let d1 = D.dblp1 ~scale:0.1 () in
+  approx "dblp1 avg prob" 0.15 0.3 (Ugraph.avg_prob d1.D.graph);
+  approx "dblp1 avg deg" 5. 9. (Ugraph.avg_degree d1.D.graph);
+  let tk = D.tokyo ~scale:0.1 () in
+  approx "tokyo avg prob" 0.3 0.5 (Ugraph.avg_prob tk.D.graph);
+  approx "tokyo avg deg" 1.8 3.2 (Ugraph.avg_degree tk.D.graph);
+  let hd = D.hit_direct ~scale:0.1 () in
+  approx "hit-d avg prob" 0.4 0.55 (Ugraph.avg_prob hd.D.graph);
+  approx "hit-d avg deg" 15. 35. (Ugraph.avg_degree hd.D.graph);
+  let am = D.am_rv () in
+  approx "am-rv avg deg" 1.8 2.8 (Ugraph.avg_degree am.D.graph)
+
+let t_datasets_connected () =
+  List.iter
+    (fun (d : D.t) ->
+      Alcotest.(check bool) (d.D.abbr ^ " connected") true
+        (Graphalgo.Connectivity.is_connected d.D.graph))
+    (D.all ~scale:0.05 ())
+
+let t_table2_formatting () =
+  let row = D.table2_row (D.karate ()) in
+  Alcotest.(check bool) "mentions Karate" true
+    (String.length row > 0
+    && String.sub row 0 6 = "Karate")
+
+(* ---- relstats ---- *)
+
+let t_stats_variance_error () =
+  let exact = [| 0.5; 1.0 |] in
+  let estimates = [| [| 0.4; 0.6 |]; [| 1.0; 0.5 |] |] in
+  (* squared errors: 0.01, 0.01, 0, 0.25 -> 0.27/4 *)
+  check_close "variance" (0.27 /. 4.) (Relstats.variance ~exact ~estimates);
+  (* relative errors: 0.2, 0.2, 0, 0.5 -> 0.9/4 *)
+  check_close "error rate" (0.9 /. 4.) (Relstats.error_rate ~exact ~estimates)
+
+let t_stats_zero_truth () =
+  let exact = [| 0. |] in
+  check_close "zero est, zero err" 0. (Relstats.error_rate ~exact ~estimates:[| [| 0. |] |]);
+  check_close "nonzero est saturates" 1.
+    (Relstats.error_rate ~exact ~estimates:[| [| 0.3 |] |])
+
+let t_stats_basic () =
+  check_close "mean" 2. (Relstats.mean [| 1.; 2.; 3. |]);
+  check_close "std" (sqrt (2. /. 3.)) (Relstats.std_dev [| 1.; 2.; 3. |]);
+  check_close "median" 2. (Relstats.quantile [| 3.; 1.; 2. |] 0.5);
+  check_close "q0" 1. (Relstats.quantile [| 3.; 1.; 2. |] 0.);
+  check_close "q1" 3. (Relstats.quantile [| 3.; 1.; 2. |] 1.)
+
+let t_stats_time () =
+  let x, dt = Relstats.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.);
+  Alcotest.(check string) "format us" "500us" (Relstats.format_seconds 0.0005);
+  Alcotest.(check string) "format ms" "5.0ms" (Relstats.format_seconds 0.005);
+  Alcotest.(check string) "format s" "2.50s" (Relstats.format_seconds 2.5)
+
+let prop_generators_deterministic =
+  QCheck.Test.make ~name:"generators deterministic in seed" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let a, _ = G.preferential_attachment ~seed ~n:60 ~edges_per_vertex:3 in
+      let b, _ = G.preferential_attachment ~seed ~n:60 ~edges_per_vertex:3 in
+      Ugraph.n_edges a = Ugraph.n_edges b
+      && Ugraph.avg_prob a = Ugraph.avg_prob b
+      && Ugraph.avg_degree a = Ugraph.avg_degree b)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "karate shape" `Quick t_karate_shape;
+      Alcotest.test_case "karate seeding" `Quick t_karate_seeded;
+      Alcotest.test_case "largest component" `Quick t_largest_component;
+      Alcotest.test_case "preferential attachment" `Quick t_preferential_attachment;
+      Alcotest.test_case "grid road" `Quick t_grid_road;
+      Alcotest.test_case "power law" `Quick t_power_law;
+      Alcotest.test_case "bipartite affiliation" `Quick t_bipartite;
+      Alcotest.test_case "random terminals" `Quick t_random_terminals;
+      Alcotest.test_case "probability: uniform" `Quick t_probability_uniform;
+      Alcotest.test_case "probability: coauthor formula" `Quick t_probability_coauthor;
+      Alcotest.test_case "probability: calibrate mean" `Quick t_probability_calibrate;
+      Alcotest.test_case "datasets: table2 profile" `Slow t_datasets_table2_shape;
+      Alcotest.test_case "datasets: connected" `Slow t_datasets_connected;
+      Alcotest.test_case "table2 formatting" `Quick t_table2_formatting;
+      Alcotest.test_case "stats: variance / error rate" `Quick t_stats_variance_error;
+      Alcotest.test_case "stats: zero truth" `Quick t_stats_zero_truth;
+      Alcotest.test_case "stats: mean/std/quantile" `Quick t_stats_basic;
+      Alcotest.test_case "stats: timing and formatting" `Quick t_stats_time;
+    ]
+    @ qtests [ prop_generators_deterministic ] )

@@ -1,0 +1,172 @@
+open Testutil
+
+let t_roundtrip () =
+  List.iter
+    (fun x ->
+      check_close (Printf.sprintf "roundtrip %g" x) x
+        (Xprob.to_float_exn (Xprob.of_float x)))
+    [ 0.; 1.; 0.5; 0.7; 1e-300; 1e300; 3.141592653589793; 4.9e-324 ]
+
+let t_of_float_rejects () =
+  List.iter
+    (fun x ->
+      Alcotest.check_raises
+        (Printf.sprintf "of_float %g rejected" x)
+        (Invalid_argument (Printf.sprintf "Xprob.of_float: %g" x))
+        (fun () -> ignore (Xprob.of_float x)))
+    [ -1.; -1e-300; Float.infinity ]
+
+let t_mul_underflow () =
+  (* 0.5^2000 underflows a double but must stay exact here. *)
+  let x = Xprob.pow_int Xprob.half 2000 in
+  check_close "log2 of 0.5^2000" (-2000.) (Xprob.log2 x);
+  Alcotest.(check bool) "not zero" false (Xprob.is_zero x);
+  check_close "to_float_approx underflows to 0" 0. (Xprob.to_float_approx x)
+
+let t_mul_matches_float () =
+  let a = Xprob.of_float 0.3 and b = Xprob.of_float 0.7 in
+  check_close "0.3*0.7" (0.3 *. 0.7) (Xprob.to_float_exn (Xprob.mul a b))
+
+let t_add_sub () =
+  let a = Xprob.of_float 0.25 and b = Xprob.of_float 0.5 in
+  check_close "add" 0.75 (Xprob.to_float_exn (Xprob.add a b));
+  check_close "sub" 0.25 (Xprob.to_float_exn (Xprob.sub b a));
+  Alcotest.(check bool) "sub to zero" true Xprob.(is_zero (sub b b))
+
+let t_sub_negative_raises () =
+  let a = Xprob.of_float 0.25 and b = Xprob.of_float 0.5 in
+  Alcotest.check_raises "negative sub" (Invalid_argument "Xprob.sub: negative result")
+    (fun () -> ignore (Xprob.sub a b))
+
+let t_sub_cancellation_noise () =
+  (* b slightly above a within relative 1e-12: clamps to zero. *)
+  let a = Xprob.of_float 1.0 in
+  let b = Xprob.add a (Xprob.of_float 1e-13) in
+  Alcotest.(check bool) "clamped" true (Xprob.is_zero (Xprob.sub a b))
+
+let t_add_disparate_magnitudes () =
+  let tiny = Xprob.pow_int Xprob.half 500 in
+  let s = Xprob.add Xprob.one tiny in
+  check_close "1 + 2^-500 = 1" 1.0 (Xprob.to_float_exn s);
+  (* Symmetric order. *)
+  let s' = Xprob.add tiny Xprob.one in
+  Alcotest.(check bool) "commutative" true (Xprob.equal s s')
+
+let t_complement () =
+  check_close "1-0.3" 0.7 (Xprob.to_float_exn (Xprob.complement (Xprob.of_float 0.3)));
+  Alcotest.(check bool) "1-1=0" true (Xprob.is_zero (Xprob.complement Xprob.one));
+  Alcotest.(check bool) "1-0=1" true (Xprob.equal Xprob.one (Xprob.complement Xprob.zero));
+  Alcotest.check_raises "complement of >1"
+    (Invalid_argument "Xprob.complement: argument exceeds one") (fun () ->
+      ignore (Xprob.complement (Xprob.of_float 1.5)))
+
+let t_div () =
+  let a = Xprob.of_float 0.21 and b = Xprob.of_float 0.7 in
+  check_close "0.21/0.7" 0.3 (Xprob.to_float_exn (Xprob.div a b));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Xprob.div a Xprob.zero))
+
+let t_compare () =
+  let xs = [ 0.; 1e-30; 0.1; 0.5; 0.9999; 1.; 2.5; 1e30 ] in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          Alcotest.(check int)
+            (Printf.sprintf "compare %g %g" x y)
+            (Float.compare x y)
+            (Xprob.compare (Xprob.of_float x) (Xprob.of_float y)))
+        xs)
+    xs
+
+let t_sum () =
+  let xs = List.init 100 (fun i -> Xprob.of_float (float_of_int i)) in
+  check_close "sum 0..99" 4950. (Xprob.to_float_exn (Xprob.sum xs))
+
+let t_pow_int () =
+  check_close "0.7^10" (0.7 ** 10.) (Xprob.to_float_exn (Xprob.pow_int (Xprob.of_float 0.7) 10));
+  Alcotest.(check bool) "x^0 = 1" true
+    (Xprob.equal Xprob.one (Xprob.pow_int (Xprob.of_float 0.3) 0));
+  Alcotest.(check bool) "0^5 = 0" true (Xprob.is_zero (Xprob.pow_int Xprob.zero 5))
+
+let t_log10 () =
+  check_close ~eps:1e-12 "log10 1e-20" (-20.) (Xprob.log10 (Xprob.of_float 1e-20));
+  let tiny = Xprob.pow_int (Xprob.of_float 0.1) 100_000 in
+  check_close ~eps:1e-6 "log10 0.1^1e5" (-100_000.) (Xprob.log10 tiny)
+
+let t_to_string () =
+  Alcotest.(check string) "zero" "0" (Xprob.to_string Xprob.zero);
+  let s = Xprob.to_string (Xprob.pow_int (Xprob.of_float 0.1) 5000) in
+  Alcotest.(check bool) ("exponent notation: " ^ s) true
+    (String.length s > 2 && String.contains s 'e')
+
+let t_mantissa_exponent () =
+  let m, e = Xprob.mantissa_exponent (Xprob.of_float 0.75) in
+  check_close "mantissa" 0.75 m;
+  Alcotest.(check int) "exponent" 0 e;
+  Alcotest.(check bool) "normalised" true (m >= 0.5 && m < 1.)
+
+(* Property tests *)
+
+let pos_float = QCheck.Gen.map (fun f -> Float.abs f +. 1e-310) QCheck.Gen.pfloat
+
+let arb_pair =
+  QCheck.make ~print:(fun (a, b) -> Printf.sprintf "(%g, %g)" a b)
+    QCheck.Gen.(pair pos_float pos_float)
+
+let prop_mul_matches_float =
+  QCheck.Test.make ~name:"xprob mul matches float where representable" ~count:500
+    arb_pair (fun (a, b) ->
+      let prod = a *. b in
+      QCheck.assume (Float.is_finite prod && prod > 1e-300);
+      let x = Xprob.to_float_exn (Xprob.mul (Xprob.of_float a) (Xprob.of_float b)) in
+      Float.abs (x -. prod) <= 1e-12 *. prod)
+
+let prop_add_matches_float =
+  QCheck.Test.make ~name:"xprob add matches float" ~count:500 arb_pair
+    (fun (a, b) ->
+      let s = a +. b in
+      QCheck.assume (Float.is_finite s);
+      let x = Xprob.to_float_exn (Xprob.add (Xprob.of_float a) (Xprob.of_float b)) in
+      Float.abs (x -. s) <= 1e-12 *. s)
+
+let prop_order_embedding =
+  QCheck.Test.make ~name:"xprob compare embeds float order" ~count:500 arb_pair
+    (fun (a, b) ->
+      Xprob.compare (Xprob.of_float a) (Xprob.of_float b) = Float.compare a b)
+
+let prop_complement_involutive =
+  QCheck.Test.make ~name:"complement involutive on [0,1]" ~count:500
+    QCheck.(float_bound_inclusive 1.0)
+    (fun p ->
+      let x = Xprob.of_float p in
+      let y = Xprob.complement (Xprob.complement x) in
+      Float.abs (Xprob.to_float_exn y -. p) <= 1e-9)
+
+let suite =
+  ( "xprob",
+    [
+      Alcotest.test_case "roundtrip" `Quick t_roundtrip;
+      Alcotest.test_case "of_float rejects bad input" `Quick t_of_float_rejects;
+      Alcotest.test_case "mul survives underflow" `Quick t_mul_underflow;
+      Alcotest.test_case "mul matches float" `Quick t_mul_matches_float;
+      Alcotest.test_case "add/sub" `Quick t_add_sub;
+      Alcotest.test_case "sub negative raises" `Quick t_sub_negative_raises;
+      Alcotest.test_case "sub clamps cancellation noise" `Quick t_sub_cancellation_noise;
+      Alcotest.test_case "add disparate magnitudes" `Quick t_add_disparate_magnitudes;
+      Alcotest.test_case "complement" `Quick t_complement;
+      Alcotest.test_case "div" `Quick t_div;
+      Alcotest.test_case "compare embeds float order" `Quick t_compare;
+      Alcotest.test_case "sum" `Quick t_sum;
+      Alcotest.test_case "pow_int" `Quick t_pow_int;
+      Alcotest.test_case "log10 deep underflow" `Quick t_log10;
+      Alcotest.test_case "to_string" `Quick t_to_string;
+      Alcotest.test_case "mantissa_exponent" `Quick t_mantissa_exponent;
+    ]
+    @ qtests
+        [
+          prop_mul_matches_float;
+          prop_add_matches_float;
+          prop_order_embedding;
+          prop_complement_involutive;
+        ] )

@@ -1,0 +1,34 @@
+(* Shared helpers for the test suites. *)
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  if Float.abs (expected -. actual) > eps *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" msg expected actual
+
+let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+
+(* A fixed seed stream for tests that need raw randomness. *)
+let rng () = Prng.create 0xC0FFEE
+
+(* Edge-list shorthand: [edge u v p]. *)
+let edge u v p : Ugraph.edge = { u; v; p }
+
+let graph ~n es = Ugraph.create ~n (List.map (fun (u, v, p) -> edge u v p) es)
+
+(* Small named graphs reused across suites. *)
+
+(* The paper's Figure 1 example: 5 vertices, 6 edges, all p = 0.7. *)
+let fig1 ?(p = 0.7) () =
+  graph ~n:5
+    [ (0, 1, p); (0, 2, p); (1, 3, p); (2, 3, p); (1, 4, p); (3, 4, p) ]
+
+(* A 4-cycle. *)
+let cycle4 p = graph ~n:4 [ (0, 1, p); (1, 2, p); (2, 3, p); (3, 0, p) ]
+
+(* A path 0-1-2-3. *)
+let path4 p = graph ~n:4 [ (0, 1, p); (1, 2, p); (2, 3, p) ]
+
+(* Two triangles joined by a bridge: 0-1-2-0, 3-4-5-3, bridge 2-3. *)
+let two_triangles p =
+  graph ~n:6
+    [ (0, 1, p); (1, 2, p); (2, 0, p); (2, 3, p); (3, 4, p); (4, 5, p); (5, 3, p) ]
