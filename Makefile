@@ -1,0 +1,22 @@
+.PHONY: build test bench bench-quick bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+# Speedup harness on a toy graph: the quick `parallel` section (karate,
+# jobs 1/2/4) with its sequential-vs-parallel bit-identity column. The
+# same invocation runs under `dune runtest` via bench/dune.
+bench-smoke:
+	dune exec bench/main.exe -- --only parallel --quick
+
+clean:
+	dune clean

@@ -463,6 +463,73 @@ let ablation_exact cfg =
       print_newline ())
     datasets
 
+(* ---- Parallel: domain-pool speedup and determinism ---- *)
+
+let parallel cfg =
+  banner "Parallel: sequential vs parallel sampling (Par domain pool)"
+    (Printf.sprintf
+       "Determinism contract: for a fixed seed every estimate is bit-identical\n\
+        at every jobs value (per-chunk Prng.split streams, ordered reduction),\n\
+        so `= seq` must read true on every row. Speedup tracks the host's\n\
+        core count (this host reports %d domains; a single-core host shows ~1.0x)."
+       (Par.default_jobs ()));
+  let s = if cfg.quick then 10_000 else 40_000 in
+  let w = if cfg.quick then 64 else 1_000 in
+  let k = 10 in
+  let jobs_list = [ 1; 2; 4 ] in
+  let datasets =
+    if cfg.quick then [ D.karate ~seed:cfg.seed () ]
+    else D.large ~seed:cfg.seed ~scale:cfg.scale ()
+  in
+  List.iter
+    (fun (d : D.t) ->
+      let g = d.D.graph in
+      let ts = terminals cfg ~search:1 g ~k in
+      Printf.printf "--- %s (s = %d, w = %d, k = %d) ---\n" d.D.abbr s w k;
+      Printf.printf "%-13s %5s %14s %10s %8s %-16s %6s\n" "Method" "jobs" "R"
+        "time" "speedup" "chunks x samples" "= seq";
+      let bench name f =
+        let base_v = ref nan and base_t = ref nan in
+        List.iter
+          (fun jobs ->
+            let (v, work), dt = Relstats.time (fun () -> f jobs) in
+            if jobs = 1 then begin
+              base_v := v;
+              base_t := dt
+            end;
+            Printf.printf "%-13s %5d %14.8f %10s %7.1fx %-16s %6b\n" name jobs v
+              (Relstats.format_seconds dt)
+              (!base_t /. dt) work
+              (Float.equal v !base_v))
+          jobs_list;
+        print_newline ()
+      in
+      (* Per-worker sample counts: the chunk layout depends only on the
+         total sample budget, never on jobs, so the column repeats. *)
+      let chunk_layout cs =
+        let n = Array.length cs in
+        if n = 0 then "-"
+        else begin
+          let mn = Array.fold_left min max_int cs
+          and mx = Array.fold_left max 0 cs in
+          if mn = mx then Printf.sprintf "%d x %d" n mn
+          else Printf.sprintf "%d x %d..%d" n mn mx
+        end
+      in
+      bench "Sampling(MC)" (fun jobs ->
+          let e = Mcsampling.monte_carlo ~seed:cfg.seed ~jobs g ~terminals:ts ~samples:s in
+          (e.Mcsampling.value, chunk_layout e.Mcsampling.chunk_samples));
+      bench "Sampling(HT)" (fun jobs ->
+          let e =
+            Mcsampling.horvitz_thompson ~seed:cfg.seed ~jobs g ~terminals:ts ~samples:s
+          in
+          (e.Mcsampling.value, chunk_layout e.Mcsampling.chunk_samples));
+      bench "Pro(MC)" (fun jobs ->
+          let config = s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed in
+          let rep = R.estimate ~config ~jobs g ~terminals:ts in
+          (rep.R.value, Printf.sprintf "drawn = %d" rep.R.samples_drawn)))
+    datasets
+
 let all_sections =
   [
     ("table2", table2);
@@ -476,4 +543,5 @@ let all_sections =
     ("ablation_lemmas", ablation_lemmas);
     ("ablation_heuristic", ablation_heuristic);
     ("ablation_exact", ablation_exact);
+    ("parallel", parallel);
   ]

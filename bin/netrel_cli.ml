@@ -71,6 +71,12 @@ let terminals_arg =
   let doc = "Comma-separated terminal vertex ids, e.g. $(b,0,5,9)." in
   Arg.(value & opt (some string) None & info [ "t"; "terminals" ] ~docv:"IDS" ~doc)
 
+let jobs_arg =
+  let doc = "Number of domains (cores) used for sampling. Estimates are \
+             bit-identical at every value — $(docv) trades wall-clock for \
+             cores, nothing else. Default: the machine's domain count." in
+  Arg.(value & opt int (Par.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let k_arg =
   let doc = "Pick $(docv) terminals uniformly at random instead of \
              --terminals." in
@@ -93,6 +99,10 @@ let or_die = function
   | Error msg ->
     Printf.eprintf "netrel: %s\n" msg;
     exit 2
+
+let check_jobs jobs =
+  if jobs < 1 then
+    or_die (Error (Printf.sprintf "--jobs must be >= 1 (got %d)" jobs))
 
 (* Turn library precondition failures into clean CLI errors. *)
 let guarded f =
@@ -143,8 +153,9 @@ let estimate_cmd =
                $(b,brute) (exhaustive, tiny graphs only)." in
     Arg.(value & opt method_conv Pro & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
   in
-  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ = guarded @@ fun () ->
+  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ jobs = guarded @@ fun () ->
     setup_logs verbose;
+    check_jobs jobs;
     let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
     let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
     (try Ugraph.validate_terminals g ts
@@ -159,7 +170,7 @@ let estimate_cmd =
                      S.estimator; S.seed = seed } in
       let rep, dt =
         Relstats.time (fun () ->
-            R.estimate ~config ~extension:(not no_ext) g ~terminals:ts)
+            R.estimate ~config ~extension:(not no_ext) ~jobs g ~terminals:ts)
       in
       Printf.printf "R = %.10g%s\nbounds = [%.10g, %.10g]\n" rep.R.value
         (if rep.R.exact then "  (exact)" else "")
@@ -171,7 +182,7 @@ let estimate_cmd =
       let f = if method_ = Sampling_mc then Mcsampling.monte_carlo
               else Mcsampling.horvitz_thompson in
       let est, dt =
-        Relstats.time (fun () -> f ~seed g ~terminals:ts ~samples)
+        Relstats.time (fun () -> f ~seed ~jobs g ~terminals:ts ~samples)
       in
       Printf.printf "R = %.10g  (%d samples, %d hits)\ntime: %s\n"
         est.Mcsampling.value est.Mcsampling.samples_used est.Mcsampling.hits
@@ -197,7 +208,8 @@ let estimate_cmd =
   let doc = "Compute the network reliability of terminals in an uncertain graph" in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
-          $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_)
+          $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_
+          $ jobs_arg)
 
 (* ---- stats ---- *)
 

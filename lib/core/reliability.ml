@@ -43,7 +43,7 @@ let combine cfg ~pb ~stats subresults =
     upper;
     exact;
     s_given = cfg.S2bdd.samples;
-    (* The binding residual budget: subproblems run sequentially, each
+    (* The binding residual budget: subproblems are independent, each
        with its own Theorem-1 budget, so the largest one dominates. *)
     s_reduced =
       List.fold_left (fun acc (r : S2bdd.result) -> max acc r.S2bdd.s_reduced) 0 subresults;
@@ -55,25 +55,37 @@ let combine cfg ~pb ~stats subresults =
     preprocess = stats;
   }
 
-let estimate ?(config = S2bdd.default_config) ?(extension = true) g ~terminals =
+let estimate ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) g
+    ~terminals =
+  if jobs < 1 then invalid_arg "Reliability.estimate: jobs < 1";
+  let ejobs = Par.effective_jobs jobs in
+  let pool = if ejobs > 1 then Some (Par.Pool.shared ~jobs:ejobs) else None in
   if extension then begin
     match P.run g ~terminals with
     | P.Trivial r -> trivial_report config (Xprob.to_float_exn r)
     | P.Reduced { pb; subproblems; stats } ->
+      (* Per-subproblem seeds are drawn sequentially from the master
+         seed BEFORE any subproblem runs, so the seed assignment — and
+         hence every subresult — is independent of execution order.
+         The subproblems then run as pool tasks (their descents nest on
+         the same pool) with results collected in subproblem order. *)
       let seed_rng = Prng.create config.S2bdd.seed in
+      let sub_arr = Array.of_list subproblems in
+      let seeds =
+        Array.map (fun _ -> Int64.to_int (Prng.bits64 seed_rng)) sub_arr
+      in
       let subresults =
-        List.map
-          (fun (sp : P.subproblem) ->
-            let sub_cfg =
-              { config with S2bdd.seed = Int64.to_int (Prng.bits64 seed_rng) }
-            in
-            S2bdd.estimate ~config:sub_cfg sp.P.graph ~terminals:sp.P.terminals)
-          subproblems
+        Par.run ?pool (Array.length sub_arr) (fun i ->
+            let sp = sub_arr.(i) in
+            let sub_cfg = { config with S2bdd.seed = seeds.(i) } in
+            S2bdd.estimate ?pool ~config:sub_cfg sp.P.graph
+              ~terminals:sp.P.terminals)
+        |> Array.to_list
       in
       combine config ~pb:(Xprob.to_float_exn pb) ~stats:(Some stats) subresults
   end
   else begin
-    let r = S2bdd.estimate ~config g ~terminals in
+    let r = S2bdd.estimate ?pool ~config g ~terminals in
     {
       value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
       lower = r.S2bdd.lower;

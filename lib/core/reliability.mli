@@ -22,6 +22,7 @@ type report = {
 val estimate :
   ?config:S2bdd.config ->
   ?extension:bool ->
+  ?jobs:int ->
   Ugraph.t ->
   terminals:int list ->
   report
@@ -32,7 +33,14 @@ val estimate :
     its own S2BDD with an independent seed split from [config.seed],
     and the results multiply with the bridge probability [pb]
     (Lemma 5.1). With [extension = false], a single S2BDD runs on the
-    raw graph — the paper's "Pro w/o ext" configuration. *)
+    raw graph — the paper's "Pro w/o ext" configuration.
+
+    [jobs] (default 1) sets the domain-pool size: decomposed
+    subproblems run concurrently, and each S2BDD's stratified descents
+    run on the same pool (see {!S2bdd.estimate}). Per-subproblem seeds
+    are assigned before execution and results fold in subproblem
+    order, so {b the report is bit-identical at every [jobs] value}.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val exact :
   ?node_budget:int ->

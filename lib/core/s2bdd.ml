@@ -100,6 +100,20 @@ let alloc rng x =
     let f = Float.floor x in
     int_of_float f + (if Prng.bernoulli rng (x -. f) then 1 else 0)
 
+(* Per-domain DSU scratch for the DP descents (sized 2 * |V|, which
+   always suffices for [Fstate.descend_union]). Reset per descent, so
+   reuse across tasks and domains cannot affect results. *)
+let dsu_key : Dsu.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Dsu.create 0)
+
+let descent_scratch size =
+  let d = Domain.DLS.get dsu_key in
+  if Dsu.size d >= size then d
+  else begin
+    let d = Dsu.create size in
+    Domain.DLS.set dsu_key d;
+    d
+  end
+
 (* One DP descent from a node's state: the state anchors past
    connectivity, the remaining edges are flipped, one union-find pass
    decides the indicator. Returns [(connected, hash, log_q)]; the hash
@@ -140,28 +154,22 @@ let node_r_hat ctx cfg dsu rng ~pos st ~n =
         if connected then acc +. ht_weight ~logq ~n else acc)
       seen 0.
 
-(* Sampling procedure for one deleted (or leftover) node. Nodes with a
-   meaningful share of the budget use the textbook stratified estimator
-   (deterministic allocation, contribution [p_n * R^_n]); the long tail
-   of tiny nodes uses randomised rounding with contribution
-   [(N_n / s') * R^_n], whose expectation telescopes to [p_n * R_n]
-   even when [N_n = 0]. Both branches are exactly unbiased; the first
-   avoids the allocation (rounding) variance where it would matter. *)
-let sample_node ctx cfg dsu rng ~s_cur ~pos st pn =
-  let s_eff = max 1 s_cur in
-  let x = float_of_int s_eff *. Xprob.to_float_approx pn in
-  if x >= 0.5 then begin
-    let n = max 1 (int_of_float (Float.round x)) in
-    let r_hat = node_r_hat ctx cfg dsu rng ~pos st ~n in
-    (Xprob.to_float_approx pn *. r_hat, n)
-  end
-  else begin
-    let n = alloc rng x in
-    if n = 0 then (0., 0)
-    else
-      let r_hat = node_r_hat ctx cfg dsu rng ~pos st ~n in
-      (float_of_int n /. float_of_int s_eff *. r_hat, n)
-  end
+(* One deferred stratified-sampling task: a deleted (or leftover) node
+   whose [n] DP descents from [st] at layer [pos] contribute
+   [factor * R^_n] to the estimate. Tasks are recorded in consumption
+   order during construction and executed afterwards — possibly on a
+   domain pool, since each node's descent is independent: the frontier
+   state is a sufficient statistic and nothing in the construction
+   depends on descent outcomes. Each task owns its [Prng] stream, split
+   from the construction generator at enqueue time, so the contribution
+   vector is bit-identical however many domains execute it. *)
+type descent_task = {
+  t_pos : int;
+  t_st : F.state;
+  t_n : int;
+  t_factor : float;
+  t_rng : Prng.t;
+}
 
 (* [`Auto] orders edges by multi-source BFS from the terminals: each
    terminal's incident edges are decided as early as possible, which is
@@ -173,7 +181,7 @@ let resolve_order cfg g ~terminals =
   | `Strategy s -> O.order_edges s g
   | `Explicit o -> o
 
-let estimate ?(config = default_config) g ~terminals =
+let estimate ?pool ?(config = default_config) g ~terminals =
   Ugraph.validate_terminals g terminals;
   let cfg = config in
   if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
@@ -191,11 +199,10 @@ let estimate ?(config = default_config) g ~terminals =
     let order = resolve_order cfg g ~terminals in
     let ctx = F.make g ~order ~terminals in
     let rng = Prng.create cfg.seed in
-    let dsu = Dsu.create (2 * Ugraph.n_vertices g) in
     let m = F.n_positions ctx in
     let key_fn = if cfg.merge_flags then F.key_flags else F.key_exact in
     let pc = ref Xprob.zero and pd = ref Xprob.zero in
-    let contribution = ref 0. in
+    let tasks = ref [] in
     let s_cur = ref cfg.samples in
     let samples_drawn = ref 0 in
     let sampled_nodes = ref 0 in
@@ -212,11 +219,33 @@ let estimate ?(config = default_config) g ~terminals =
           ~pc:(Xprob.to_float_approx !pc)
           ~pd:(Xprob.to_float_approx !pd)
     in
+    (* Consuming a node enqueues its descent task. Nodes with a
+       meaningful share of the budget use the textbook stratified
+       estimator (deterministic allocation, contribution [p_n * R^_n]);
+       the long tail of tiny nodes uses randomised rounding with
+       contribution [(N_n / s') * R^_n], whose expectation telescopes
+       to [p_n * R_n] even when [N_n = 0]. Both branches are exactly
+       unbiased; the first avoids the allocation (rounding) variance
+       where it would matter. Allocation draws stay on the
+       construction stream; descent draws move to the task's split
+       stream. *)
     let consume_node ~pos st pn =
-      let c, n = sample_node ctx cfg dsu rng ~s_cur:!s_cur ~pos st pn in
-      contribution := !contribution +. c;
-      samples_drawn := !samples_drawn + n;
-      if n > 0 then incr sampled_nodes
+      let s_eff = max 1 !s_cur in
+      let x = float_of_int s_eff *. Xprob.to_float_approx pn in
+      let enqueue n factor =
+        tasks :=
+          { t_pos = pos; t_st = st; t_n = n; t_factor = factor;
+            t_rng = Prng.split rng }
+          :: !tasks;
+        samples_drawn := !samples_drawn + n;
+        incr sampled_nodes
+      in
+      if x >= 0.5 then
+        enqueue (max 1 (int_of_float (Float.round x))) (Xprob.to_float_approx pn)
+      else begin
+        let n = alloc rng x in
+        if n > 0 then enqueue n (float_of_int n /. float_of_int s_eff)
+      end
     in
     let current = ref (F.Key_table.create 16) in
     F.Key_table.replace !current (key_fn F.initial) (F.initial, ref Xprob.one);
@@ -336,10 +365,23 @@ let estimate ?(config = default_config) g ~terminals =
         invalid_arg "S2bdd.estimate: live states after the final layer";
       F.Key_table.iter (fun _ (st, pn) -> consume_node ~pos:!pos st !pn) !current
     end;
+    (* Stratified descents: every consumed node is an independent task;
+       run them on the pool (or inline) and fold the per-task
+       contributions in consumption order. *)
+    let task_arr = Array.of_list (List.rev !tasks) in
+    let dsu_size = 2 * Ugraph.n_vertices g in
+    let contribs =
+      Par.run ?pool (Array.length task_arr) (fun i ->
+          let t = task_arr.(i) in
+          let dsu = descent_scratch dsu_size in
+          t.t_factor
+          *. node_r_hat ctx cfg dsu t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n)
+    in
+    let contribution = Array.fold_left ( +. ) 0. contribs in
     let lower = Xprob.to_float_approx !pc in
     let upper = 1. -. Xprob.to_float_approx !pd in
     let exact = !deleted_nodes = 0 && !stop = Completed in
-    let value = if exact then lower else lower +. !contribution in
+    let value = if exact then lower else lower +. contribution in
     {
       value;
       lower;

@@ -99,8 +99,18 @@ type result = {
   stop : stop_reason;
 }
 
-val estimate : ?config:config -> Ugraph.t -> terminals:int list -> result
+val estimate :
+  ?pool:Par.Pool.t -> ?config:config -> Ugraph.t -> terminals:int list -> result
 (** Estimate [R[G, T]] with an S2BDD over the graph as given (no
     extension technique; see {!Reliability.estimate} for the full
     Algorithm 1). Handles [k < 2] and topologically separated terminals
-    without construction. *)
+    without construction.
+
+    When [pool] is given, the stratified DP descents of deleted and
+    leftover nodes run on it: construction stays sequential (each layer
+    depends on the previous), but every sampled node's descents are an
+    independent task recorded in consumption order and executed after
+    construction. Each task draws from its own {!Prng.split} stream
+    assigned at enqueue time and the per-task contributions fold in
+    consumption order, so the result is {b bit-identical} with and
+    without a pool, at any pool size. *)

@@ -4,15 +4,42 @@ type estimate = {
   hits : int;
   distinct : int;
   variance_estimate : float;
+  jobs_used : int;
+  chunk_samples : int array;
 }
 
-let validate g ~terminals ~samples =
+(* Samples are drawn in fixed-size chunks so that work distribution and
+   random-stream assignment are independent of the number of domains:
+   chunk [i] always covers the same sample indices and always draws from
+   the [i]-th [Prng.split] of the master generator, whether the chunks
+   run on one domain or eight. [chunk_target] is therefore part of the
+   determinism contract: changing it changes which possible graphs a
+   seed draws (it does not change the estimator's distribution). *)
+let chunk_target = 4096
+
+let validate g ~terminals ~samples ~jobs =
   Ugraph.validate_terminals g terminals;
-  if samples <= 0 then invalid_arg "Mcsampling: samples <= 0"
+  if samples <= 0 then invalid_arg "Mcsampling: samples <= 0";
+  if jobs <= 0 then invalid_arg "Mcsampling: jobs <= 0"
 
 let trivial_estimate value samples =
   { value; samples_used = samples; hits = (if value > 0. then samples else 0);
-    distinct = 1; variance_estimate = 0. }
+    distinct = 1; variance_estimate = 0.; jobs_used = 1; chunk_samples = [||] }
+
+(* Per-domain sampling scratch: one edge mask and one union-find reused
+   across every chunk the domain executes. Scratch contents never leak
+   between samples (the mask is fully rewritten per draw, the DSU is
+   reset per connectivity check), so reuse cannot affect results. *)
+type scratch = { mutable present : bool array; mutable dsu : Dsu.t }
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { present = [||]; dsu = Dsu.create 0 })
+
+let get_scratch ~n_edges ~n_vertices =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.present <> n_edges then s.present <- Array.make n_edges false;
+  if Dsu.size s.dsu <> n_vertices then s.dsu <- Dsu.create n_vertices;
+  s
 
 (* Draw one possible graph into [present]; returns its probability. *)
 let draw_sample rng g present =
@@ -30,29 +57,59 @@ let draw_sample rng g present =
     g;
   !prob
 
-let monte_carlo ?(seed = 1) g ~terminals ~samples =
-  validate g ~terminals ~samples;
+(* FNV-1a over the mask bits: the 62-bit content hash that identifies a
+   sampled possible graph for the HT dedup. *)
+let mask_hash present m =
+  let h = ref 0x811C9DC5 in
+  for eid = 0 to m - 1 do
+    let bit = if present.(eid) then 0x9E37 else 0x79B9 in
+    h := (!h lxor (bit + eid)) * 0x01000193 land max_int
+  done;
+  !h
+
+(* The per-chunk master streams, split in chunk order from the seed:
+   stream [i] belongs to chunk [i] no matter which domain runs it. *)
+let chunk_streams ~seed n =
+  let master = Prng.create seed in
+  Array.init n (fun _ -> Prng.split master)
+
+let monte_carlo ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
+  validate g ~terminals ~samples ~jobs;
   if List.length terminals < 2 then trivial_estimate 1. samples
   else begin
-    let rng = Prng.create seed in
     let m = Ugraph.n_edges g in
-    let present = Array.make m false in
-    let dsu = Dsu.create (Ugraph.n_vertices g) in
-    let hits = ref 0 in
-    for _ = 1 to samples do
-      Ugraph.iter_edges
-        (fun eid (e : Ugraph.edge) -> present.(eid) <- Prng.bernoulli rng e.p)
-        g;
-      if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present terminals
-      then incr hits
-    done;
-    let value = float_of_int !hits /. float_of_int samples in
+    let n = Ugraph.n_vertices g in
+    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let rngs = chunk_streams ~seed (Array.length chunks) in
+    let chunk_hits =
+      Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let _, len = chunks.(i) in
+          let rng = rngs.(i) in
+          let s = get_scratch ~n_edges:m ~n_vertices:n in
+          let present = s.present and dsu = s.dsu in
+          let hits = ref 0 in
+          for _ = 1 to len do
+            Ugraph.iter_edges
+              (fun eid (e : Ugraph.edge) -> present.(eid) <- Prng.bernoulli rng e.p)
+              g;
+            if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
+                 terminals
+            then incr hits
+          done;
+          !hits)
+    in
+    (* Ordered reduction: integer hits fold in chunk order (associative
+       here, but the convention keeps every reducer shape-identical). *)
+    let hits = Array.fold_left ( + ) 0 chunk_hits in
+    let value = float_of_int hits /. float_of_int samples in
     {
       value;
       samples_used = samples;
-      hits = !hits;
+      hits;
       distinct = samples;
       variance_estimate = value *. (1. -. value) /. float_of_int samples;
+      jobs_used = Par.effective_jobs jobs;
+      chunk_samples = Array.map snd chunks;
     }
   end
 
@@ -66,57 +123,90 @@ let ht_weight q_x s =
     let pi = -.Float.expm1 (s_f *. Float.log1p (-.q)) in
     if pi <= 0. then 1. /. s_f else q /. pi
 
-let horvitz_thompson ?(seed = 1) g ~terminals ~samples =
-  validate g ~terminals ~samples;
+let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
+  validate g ~terminals ~samples ~jobs;
   if List.length terminals < 2 then trivial_estimate 1. samples
   else begin
-    let rng = Prng.create seed in
     let m = Ugraph.n_edges g in
-    let present = Array.make m false in
-    let dsu = Dsu.create (Ugraph.n_vertices g) in
-    (* Distinct samples keyed by a 63-bit content hash of the edge mask. *)
-    let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create samples in
-    let hits = ref 0 in
-    for _ = 1 to samples do
-      let prob = draw_sample rng g present in
-      (* FNV-1a over the mask bits. *)
-      let h = ref 0x811C9DC5 in
-      for eid = 0 to m - 1 do
-        let bit = if present.(eid) then 0x9E37 else 0x79B9 in
-        h := (!h lxor (bit + eid)) * 0x01000193 land max_int
-      done;
-      if not (Hashtbl.mem seen !h) then begin
-        let connected =
-          Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present terminals
-        in
-        if connected then incr hits;
-        Hashtbl.add seen !h (prob, connected)
-      end
-    done;
+    let n = Ugraph.n_vertices g in
+    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let rngs = chunk_streams ~seed (Array.length chunks) in
+    (* Stage 1 (parallel): each chunk dedups its own draws. A chunk's
+       table records hash -> (probability, connected) for the chunk's
+       distinct masks, plus the first-occurrence order so the merge
+       below is deterministic by construction rather than by hash-table
+       layout. Connectivity runs once per chunk-distinct mask. *)
+    let chunk_tables =
+      Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let _, len = chunks.(i) in
+          let rng = rngs.(i) in
+          let s = get_scratch ~n_edges:m ~n_vertices:n in
+          let present = s.present and dsu = s.dsu in
+          let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
+          let order = ref [] in
+          for _ = 1 to len do
+            let prob = draw_sample rng g present in
+            let h = mask_hash present m in
+            if not (Hashtbl.mem seen h) then begin
+              let connected =
+                Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
+                  terminals
+              in
+              Hashtbl.add seen h (prob, connected);
+              order := h :: !order
+            end
+          done;
+          (seen, List.rev !order))
+    in
+    (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk
+       order, keeping the first occurrence of every hash — exactly what
+       a sequential single pass over all samples would keep, since
+       chunk order is sample order. The surviving entries, enumerated
+       in global first-occurrence order, drive the pi-weighted sum, so
+       the float accumulation order is fixed. *)
+    let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
+    let entries = ref [] in
+    Array.iter
+      (fun (tab, order) ->
+        List.iter
+          (fun h ->
+            if not (Hashtbl.mem merged h) then begin
+              Hashtbl.add merged h ();
+              entries := Hashtbl.find tab h :: !entries
+            end)
+          order)
+      chunk_tables;
+    let entries = List.rev !entries in
+    let hits =
+      List.fold_left (fun acc (_, connected) -> if connected then acc + 1 else acc)
+        0 entries
+    in
     let value =
-      Hashtbl.fold
-        (fun _ (q, connected) acc ->
+      List.fold_left
+        (fun acc (q, connected) ->
           if connected then acc +. ht_weight q samples else acc)
-        seen 0.
+        0. entries
     in
     (* Plug-in variance, Equation (8): the first term uses the estimate,
        the correction subtracts the squared sample probabilities of
        connected samples. *)
     let s_f = float_of_int samples in
     let correction =
-      Hashtbl.fold
-        (fun _ (q, connected) acc ->
+      List.fold_left
+        (fun acc (q, connected) ->
           if connected then
             acc +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
           else acc)
-        seen 0.
+        0. entries
     in
     let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
     {
       value;
       samples_used = samples;
-      hits = !hits;
-      distinct = Hashtbl.length seen;
+      hits;
+      distinct = List.length entries;
       variance_estimate = Float.max 0. v;
+      jobs_used = Par.effective_jobs jobs;
+      chunk_samples = Array.map snd chunks;
     }
   end

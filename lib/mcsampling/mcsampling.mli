@@ -1,32 +1,71 @@
-(** The existing sampling-based baselines of Section 3.2.2: naive Monte
-    Carlo ("Sampling(MC)") and Horvitz–Thompson ("Sampling(HT)", the
+(** The sampling-based baselines of Section 3.2.2: naive Monte Carlo
+    ("Sampling(MC)") and Horvitz–Thompson ("Sampling(HT)", the
     unequal-probability estimator of Jin et al. used by the paper).
 
     Both sample [s] possible graphs by flipping every edge independently
     and testing terminal connectivity with a reused union–find —
-    [O(s * (|V| + |E|))], the complexity quoted in the paper. *)
+    [O(s * (|V| + |E|))], the complexity quoted in the paper.
+
+    {2 Parallel execution and determinism}
+
+    Samples are drawn in fixed-size chunks (currently 4096 samples per
+    chunk); chunk [i] always draws from the [i]-th {!Prng.split} stream
+    of the master seed and partial results are folded in chunk order.
+    The [jobs] argument therefore only selects how many domains execute
+    the chunks: {b for a fixed [seed] and [samples] the returned
+    estimate is bit-identical at every [jobs] value} (including the
+    sequential [jobs = 1] fast path, which runs the same chunked code
+    on the calling domain). Each domain reuses one edge-mask and one
+    union–find scratch across the chunks it executes. *)
 
 type estimate = {
   value : float;          (** estimated network reliability *)
   samples_used : int;
-  hits : int;             (** samples in which the terminals connect *)
+  hits : int;             (** samples in which the terminals connect;
+                              for HT, counted over distinct samples *)
   distinct : int;
       (** distinct possible graphs among the samples (HT only;
           equals [samples_used] for MC) *)
   variance_estimate : float;
       (** plug-in variance: Equation (2) for MC, Equation (8) for HT *)
+  jobs_used : int;
+      (** domains the sampler was allowed to use (after the
+          [NETREL_FORCE_DOMAINS] override); does not affect results *)
+  chunk_samples : int array;
+      (** per-chunk sample allocation, fixed by [samples] alone —
+          the work units distributed over the domain pool ([[||]] for
+          the trivial [k < 2] answer, which draws nothing) *)
 }
 
 val monte_carlo :
-  ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
-(** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)].
-    @raise Invalid_argument on invalid terminals or [samples <= 0]. *)
+  ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list -> samples:int ->
+  estimate
+(** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)]. [jobs]
+    (default 1) sets the domain count; see the determinism contract
+    above. @raise Invalid_argument on invalid terminals,
+    [samples <= 0], or [jobs <= 0]. *)
 
 val horvitz_thompson :
-  ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+  ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list -> samples:int ->
+  estimate
 (** Horvitz–Thompson over the distinct sampled possible graphs:
     [R^ = sum_i I * Pr[Gp_i] / pi_i] with
-    [pi_i = 1 - (1 - Pr[Gp_i])^s]. Sampled graphs are deduplicated by a
-    63-bit content hash of the edge mask (collisions are negligible and
-    only perturb, never bias systematically, the estimate).
+    [pi_i = 1 - (1 - Pr[Gp_i])^s].
+
+    Sampled graphs are deduplicated by a 62-bit FNV-1a content hash of
+    the edge mask. A hash collision {e merges} the colliding masks: the
+    later mask is treated as a duplicate of the earlier one, so its
+    probability and indicator are dropped from the sum — a bias of
+    order [2^-62] per sample pair, negligible against sampling error
+    but not exactly zero (the hash is not a perfect identity).
+
+    Under chunking, each chunk deduplicates locally and the per-chunk
+    tables are then merged in chunk order before the pi-weighted sum,
+    keeping the first occurrence of every hash. Chunk order is sample
+    order, so the merged table — and hence the estimate — is exactly
+    what a sequential pass over all [s] samples would produce, for any
+    [jobs]. Connectivity is evaluated once per chunk-distinct mask, so
+    a mask sampled in two different chunks has its indicator computed
+    twice (same result) but counted once.
+
     @raise Invalid_argument as for {!monte_carlo}. *)

@@ -49,7 +49,29 @@ Brute force and the exact BDD agree on a small hand-written graph
   $ netrel estimate --graph fig1.txt --terminals 0,3,4 | grep "R ="
   R = 0.716527  (exact)
 
+--jobs changes the domain count but never the result: the same seed at
+jobs 1 and jobs 4 prints byte-identical reports (timing filtered):
+
+  $ netrel estimate --dataset karate --terminals 0,33 --width 64 --samples 3000 --jobs 1 | grep -v time > jobs1.out
+  $ netrel estimate --dataset karate --terminals 0,33 --width 64 --samples 3000 --jobs 4 | grep -v time > jobs4.out
+  $ cat jobs1.out
+  graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
+  terminals: [0, 33]
+  R = 0.9991983603
+  bounds = [0.1136379004, 1]
+  budget: s = 3000 -> s' = 2659, 2648 descents drawn
+  $ cmp jobs1.out jobs4.out
+  $ netrel estimate --dataset karate --terminals 0,33 -m mc -s 5000 --jobs 1 | grep "R =" > mc1.out
+  $ netrel estimate --dataset karate --terminals 0,33 -m mc -s 5000 --jobs 4 | grep "R =" > mc4.out
+  $ cat mc1.out
+  R = 0.9992  (5000 samples, 4996 hits)
+  $ cmp mc1.out mc4.out
+
 Errors exit non-zero with a message:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --jobs 0
+  netrel: --jobs must be >= 1 (got 0)
+  [2]
 
   $ netrel estimate --dataset nope -k 3
   netrel: unknown dataset "nope" (known: karate, am-rv, dblp1, dblp2, tokyo, nyc, hit-d)

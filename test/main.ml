@@ -17,4 +17,5 @@ let () =
       Test_polynomial.suite;
       Test_bounds_konect.suite;
       Test_integration.suite;
+      Test_par.suite;
     ]
