@@ -13,10 +13,11 @@ bench-quick:
 	dune exec bench/main.exe -- --quick
 
 # Speedup harness on a toy graph: the quick `parallel` section (karate,
-# jobs 1/2/4) with its sequential-vs-parallel bit-identity column. The
-# same invocation runs under `dune runtest` via bench/dune.
+# jobs 1/2/4) with its sequential-vs-parallel bit-identity column, plus
+# the self-validated BENCH_parallel.json stats emission. The same
+# invocation runs under `dune runtest` via bench/dune.
 bench-smoke:
-	dune exec bench/main.exe -- --only parallel --quick
+	dune exec bench/main.exe -- --only parallel --quick --json
 
 clean:
 	dune clean

@@ -14,6 +14,7 @@ let () =
   let scale = ref 1.0 in
   let seed = ref 1 in
   let bechamel = ref false in
+  let json = ref false in
   let spec =
     [
       ("--only", Arg.Set_string only,
@@ -24,13 +25,16 @@ let () =
       ("--scale", Arg.Set_float scale, "FLOAT dataset scale factor (default 1.0)");
       ("--seed", Arg.Set_int seed, "INT master seed (default 1)");
       ("--bechamel", Arg.Set bechamel, " also run the bechamel microbenchmarks");
+      ("--json", Arg.Set json,
+       " also write BENCH_<section>.json per-phase stats (self-validated)");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     "netrel benchmark harness";
   let cfg =
-    { Sections.scale = !scale; Sections.quick = !quick; Sections.seed = !seed }
+    { Sections.scale = !scale; Sections.quick = !quick; Sections.seed = !seed;
+      Sections.json = !json }
   in
   let wanted =
     if !only = "" then List.map fst Sections.all_sections

@@ -15,12 +15,67 @@ type config = {
   scale : float;   (* dataset scale factor *)
   quick : bool;    (* cut repetitions / budgets for a fast pass *)
   seed : int;
+  json : bool;     (* also write BENCH_<section>.json stats files *)
 }
 
-let default_config = { scale = 1.0; quick = false; seed = 1 }
+let default_config = { scale = 1.0; quick = false; seed = 1; json = false }
 
 let banner title note =
   Printf.printf "\n=== %s ===\n%s\n\n" title note
+
+(* ---- structured per-phase stats (BENCH_<section>.json) ----
+
+   With --json, instrumented runs collect an Obs account per
+   (dataset, method) pair and each section writes one JSON file:
+   { "section": ..., "runs": [ <Statsdoc document>, ... ] }. The file
+   is read back and re-validated immediately — a malformed document or
+   a missing top-level key fails the bench run (and hence the runtest
+   smoke rule that drives the quick parallel section). *)
+
+module J = Obs.Json
+module SD = Netrel.Statsdoc
+
+let validate_stats_doc doc =
+  List.iter
+    (fun k ->
+      if J.member k doc = None then
+        failwith (Printf.sprintf "stats document missing top-level key %S" k))
+    SD.required_keys
+
+let emit_json cfg ~section runs =
+  if cfg.json then begin
+    let file = Printf.sprintf "BENCH_%s.json" section in
+    let doc = J.Obj [ ("section", J.Str section); ("runs", J.List runs) ] in
+    let out = open_out file in
+    output_string out (J.to_string ~pretty:true doc);
+    output_char out '\n';
+    close_out out;
+    (* Emit-then-reparse self check: the schema must survive a round
+       trip through our own parser. *)
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let parsed = J.of_string_exn s in
+    (match J.member "runs" parsed with
+    | Some (J.List rs) when List.length rs = List.length runs ->
+      List.iter validate_stats_doc rs
+    | _ -> failwith ("bad runs array in " ^ file));
+    Printf.printf "[wrote %s: %d instrumented run(s)]\n" file (List.length runs)
+  end
+
+(* One instrumented run: execute [f obs], time it on the observer's
+   clock, and assemble the Statsdoc document. *)
+let stats_run cfg ~method_name ~graph ~ts ~s ~w f =
+  let obs = Obs.create () in
+  let t0 = Obs.now obs in
+  let result = f obs in
+  let seconds = Obs.now obs -. t0 in
+  let run_meta =
+    { SD.command = "bench"; method_ = method_name; graph; terminals = ts;
+      seed = cfg.seed; jobs = 1; samples = s; width = w }
+  in
+  SD.build ~obs ~run:run_meta ~seconds ~result
 
 let terminals cfg ~search g ~k =
   G.random_terminals ~seed:(cfg.seed + (1000 * search)) g ~k
@@ -280,10 +335,25 @@ let table5 cfg =
   let k = 10 in
   Printf.printf "%-8s %14s %16s %12s %12s\n" "Dataset" "Process time"
     "Reduced size" "#subprob" "#bridges";
+  let stats_docs = ref [] in
   List.iter
     (fun (d : D.t) ->
       let g = d.D.graph in
       let ts = terminals cfg ~search:1 g ~k in
+      (if cfg.json then
+         let doc =
+           stats_run cfg ~method_name:"preprocess" ~graph:d.D.abbr ~ts ~s:0 ~w:0
+             (fun obs ->
+               match P.run ~obs g ~terminals:ts with
+               | P.Trivial r ->
+                 SD.result_value ~value:(Xprob.to_float_approx r) ~exact:true
+               | P.Reduced { stats; _ } ->
+                 J.Obj
+                   [ ("reduction_ratio", J.Float (P.reduction_ratio stats));
+                     ("subproblems", J.Int stats.P.n_subproblems);
+                     ("bridges", J.Int stats.P.n_bridges) ])
+         in
+         stats_docs := doc :: !stats_docs);
       let outcome, dt = Relstats.time (fun () -> P.run g ~terminals:ts) in
       match outcome with
       | P.Trivial _ ->
@@ -294,7 +364,8 @@ let table5 cfg =
           (Relstats.format_seconds dt)
           (P.reduction_ratio stats)
           stats.P.n_subproblems stats.P.n_bridges)
-    (D.all ~seed:cfg.seed ~scale:cfg.scale ())
+    (D.all ~seed:cfg.seed ~scale:cfg.scale ());
+  emit_json cfg ~section:"table5" (List.rev !stats_docs)
 
 (* ---- Ablation A1: edge ordering ---- *)
 
@@ -481,6 +552,7 @@ let parallel cfg =
     if cfg.quick then [ D.karate ~seed:cfg.seed () ]
     else D.large ~seed:cfg.seed ~scale:cfg.scale ()
   in
+  let stats_docs = ref [] in
   List.iter
     (fun (d : D.t) ->
       let g = d.D.graph in
@@ -527,8 +599,32 @@ let parallel cfg =
       bench "Pro(MC)" (fun jobs ->
           let config = s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed in
           let rep = R.estimate ~config ~jobs g ~terminals:ts in
-          (rep.R.value, Printf.sprintf "drawn = %d" rep.R.samples_drawn)))
-    datasets
+          (rep.R.value, Printf.sprintf "drawn = %d" rep.R.samples_drawn));
+      if cfg.json then begin
+        let add doc = stats_docs := doc :: !stats_docs in
+        add
+          (stats_run cfg ~method_name:"sampling-mc" ~graph:d.D.abbr ~ts ~s ~w
+             (fun obs ->
+               SD.result_of_estimate
+                 (Mcsampling.monte_carlo ~obs ~seed:cfg.seed ~jobs:1 g
+                    ~terminals:ts ~samples:s)));
+        add
+          (stats_run cfg ~method_name:"sampling-ht" ~graph:d.D.abbr ~ts ~s ~w
+             (fun obs ->
+               SD.result_of_estimate
+                 (Mcsampling.horvitz_thompson ~obs ~seed:cfg.seed ~jobs:1 g
+                    ~terminals:ts ~samples:s)));
+        add
+          (stats_run cfg ~method_name:"pro" ~graph:d.D.abbr ~ts ~s ~w
+             (fun obs ->
+               let config =
+                 s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed
+               in
+               SD.result_of_report
+                 (R.estimate ~obs ~config ~jobs:1 g ~terminals:ts)))
+      end)
+    datasets;
+  emit_json cfg ~section:"parallel" (List.rev !stats_docs)
 
 let all_sections =
   [

@@ -130,6 +130,54 @@ let method_conv =
         | Pro -> "pro" | Sampling_mc -> "sampling-mc" | Sampling_ht -> "sampling-ht"
         | Bdd -> "bdd" | Brute -> "brute"))
 
+(* --stats json: run the chosen method under a live observer and emit
+   one structured stats document (Statsdoc) on stdout in place of the
+   human-readable report. The observer never touches random streams,
+   so the computed result is identical to the plain run; with
+   NETREL_FAKE_CLOCK set the whole document is byte-stable in the
+   seed (the cram test exercises exactly that). *)
+let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
+    ~jobs =
+  let module SD = Netrel.Statsdoc in
+  let obs = Obs.create () in
+  let t0 = Obs.now obs in
+  let method_name, result =
+    match method_ with
+    | Pro ->
+      let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
+      let config = { S.default_config with S.samples; S.width;
+                     S.estimator; S.seed = seed } in
+      let rep = R.estimate ~obs ~config ~extension:(not no_ext) ~jobs g
+                  ~terminals:ts in
+      ((if ht then "pro-ht" else "pro"), SD.result_of_report rep)
+    | Sampling_mc ->
+      let est = Mcsampling.monte_carlo ~obs ~seed ~jobs g ~terminals:ts ~samples in
+      ("sampling-mc", SD.result_of_estimate est)
+    | Sampling_ht ->
+      let est =
+        Mcsampling.horvitz_thompson ~obs ~seed ~jobs g ~terminals:ts ~samples
+      in
+      ("sampling-ht", SD.result_of_estimate est)
+    | Bdd -> (
+      match R.exact ~extension:(not no_ext) g ~terminals:ts with
+      | Ok r -> ("bdd", SD.result_value ~value:r ~exact:true)
+      | Error (`Node_budget_exceeded n) ->
+        ( "bdd",
+          Obs.Json.Obj
+            [ ("error", Obs.Json.Str "node_budget_exceeded");
+              ("nodes", Obs.Json.Int n) ] ))
+    | Brute ->
+      let r = Bddbase.Bruteforce.reliability g ~terminals:ts in
+      ("brute", SD.result_value ~value:r ~exact:true)
+  in
+  let seconds = Obs.now obs -. t0 in
+  let run_meta =
+    { SD.command = "estimate"; method_ = method_name; graph = name;
+      terminals = ts; seed; jobs = Par.effective_jobs jobs; samples; width }
+  in
+  let doc = SD.build ~obs ~run:run_meta ~seconds ~result in
+  print_endline (Obs.Json.to_string ~pretty:true doc)
+
 let estimate_cmd =
   let samples =
     let doc = "Plain-sampling budget $(docv) to match (Theorem 1 reduces it)." in
@@ -153,13 +201,26 @@ let estimate_cmd =
                $(b,brute) (exhaustive, tiny graphs only)." in
     Arg.(value & opt method_conv Pro & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
   in
-  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ jobs = guarded @@ fun () ->
+  let stats_fmt =
+    let doc = "Emit machine-readable per-phase run statistics instead of the \
+               human-readable report: $(docv) is $(b,none) (default) or \
+               $(b,json) (one JSON document on stdout: run metadata, \
+               preprocess / construction / sampling / par phase accounts, \
+               result)." in
+    Arg.(value & opt (enum [ ("none", `None); ("json", `Json) ]) `None
+         & info [ "stats" ] ~docv:"FORMAT" ~doc)
+  in
+  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ jobs stats = guarded @@ fun () ->
     setup_logs verbose;
     check_jobs jobs;
     let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
     let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
     (try Ugraph.validate_terminals g ts
      with Invalid_argument msg -> or_die (Error msg));
+    match stats with
+    | `Json -> run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext
+                 ~method_ ~jobs
+    | `None ->
     Printf.printf "graph %s: %s\nterminals: [%s]\n" name
       (Format.asprintf "%a" Ugraph.pp_stats g)
       (String.concat ", " (List.map string_of_int ts));
@@ -209,7 +270,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
           $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_
-          $ jobs_arg)
+          $ jobs_arg $ stats_fmt)
 
 (* ---- stats ---- *)
 

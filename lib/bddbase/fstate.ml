@@ -334,15 +334,19 @@ let descend_union ctx ~dsu ~detail ~pos st ~bernoulli =
     invalid_arg "Fstate.descend_union: DSU too small";
   Dsu.reset dsu;
   let m = n_positions ctx in
-  let h = ref 0x811C9DC5 in
+  (* Completion identity for the HT dedup: a full-avalanche 62-bit hash
+     of the drawn edge outcomes (Hash64). The per-bool FNV-1a that used
+     to live here had the same upward-only bit diffusion flaw as the old
+     Mcsampling.mask_hash, so structured completions could collide and
+     be merged by the descent dedup table. *)
+  let hs = Hash64.Stream.create () in
   let logq = ref 0. in
   if detail then
     (* HT needs the completion's identity and conditional probability. *)
     for p = pos to m - 1 do
       let pe = ctx.ord_p.(p) in
       let exists = bernoulli pe in
-      let bit = if exists then 0x9E37 else 0x79B9 in
-      h := (!h lxor (bit + p)) * 0x01000193 land max_int;
+      Hash64.Stream.add_bit hs exists;
       if exists then begin
         if pe < 1. then logq := !logq +. Float.log pe;
         ignore (Dsu.union dsu ctx.ord_u.(p) ctx.ord_v.(p))
@@ -363,7 +367,7 @@ let descend_union ctx ~dsu ~detail ~pos st ~bernoulli =
   in
   Array.iteri (fun c t -> if t > 0 then require (n + c)) st.tc;
   Array.iter (fun t -> if ctx.first_pos.(t) >= pos then require t) ctx.terminal_arr;
-  (!connected, !h, !logq)
+  (!connected, Hash64.Stream.finish hs, !logq)
 
 module Key_table = Hashtbl.Make (struct
   type t = int array
@@ -372,7 +376,10 @@ module Key_table = Hashtbl.Make (struct
 
   let hash a =
     (* FNV-1a over every element; Hashtbl.hash would only inspect a
-       bounded prefix, which collides badly on wide frontiers. *)
+       bounded prefix, which collides badly on wide frontiers. Unlike
+       the content hashes above this one only buckets — keys are
+       compared by structural equality on collision — so FNV's weak
+       diffusion costs at most table balance, never correctness. *)
     let h = ref 0x811C9DC5 in
     Array.iter (fun x -> h := (!h lxor (x + 0x9E3779B9)) * 0x01000193 land max_int) a;
     !h

@@ -55,37 +55,42 @@ let combine cfg ~pb ~stats subresults =
     preprocess = stats;
   }
 
-let estimate ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) g
-    ~terminals =
+let estimate ?(obs = Obs.disabled) ?(config = S2bdd.default_config)
+    ?(extension = true) ?(jobs = 1) g ~terminals =
   if jobs < 1 then invalid_arg "Reliability.estimate: jobs < 1";
   let ejobs = Par.effective_jobs jobs in
   let pool = if ejobs > 1 then Some (Par.Pool.shared ~jobs:ejobs) else None in
   if extension then begin
-    match P.run g ~terminals with
+    match P.run ~obs g ~terminals with
     | P.Trivial r -> trivial_report config (Xprob.to_float_exn r)
     | P.Reduced { pb; subproblems; stats } ->
       (* Per-subproblem seeds are drawn sequentially from the master
          seed BEFORE any subproblem runs, so the seed assignment — and
          hence every subresult — is independent of execution order.
          The subproblems then run as pool tasks (their descents nest on
-         the same pool) with results collected in subproblem order. *)
+         the same pool) with results collected in subproblem order.
+         Each task records into its own observer ([Obs.fresh_like]) and
+         the observers merge back in subproblem order, keeping the
+         stats deterministic under any domain schedule. *)
       let seed_rng = Prng.create config.S2bdd.seed in
       let sub_arr = Array.of_list subproblems in
       let seeds =
         Array.map (fun _ -> Int64.to_int (Prng.bits64 seed_rng)) sub_arr
       in
+      let sub_obs = Array.map (fun _ -> Obs.fresh_like obs) sub_arr in
       let subresults =
         Par.run ?pool (Array.length sub_arr) (fun i ->
             let sp = sub_arr.(i) in
             let sub_cfg = { config with S2bdd.seed = seeds.(i) } in
-            S2bdd.estimate ?pool ~config:sub_cfg sp.P.graph
+            S2bdd.estimate ?pool ~obs:sub_obs.(i) ~config:sub_cfg sp.P.graph
               ~terminals:sp.P.terminals)
         |> Array.to_list
       in
+      Array.iter (fun so -> Obs.merge ~into:obs so) sub_obs;
       combine config ~pb:(Xprob.to_float_exn pb) ~stats:(Some stats) subresults
   end
   else begin
-    let r = S2bdd.estimate ?pool ~config g ~terminals in
+    let r = S2bdd.estimate ?pool ~obs ~config g ~terminals in
     {
       value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
       lower = r.S2bdd.lower;

@@ -20,6 +20,7 @@ type report = {
 }
 
 val estimate :
+  ?obs:Obs.t ->
   ?config:S2bdd.config ->
   ?extension:bool ->
   ?jobs:int ->
@@ -27,6 +28,13 @@ val estimate :
   terminals:int list ->
   report
 (** [estimate g ~terminals] approximates [R[G, T]].
+
+    [obs] (default {!Obs.disabled}) collects the per-phase run account:
+    preprocessing under ["preprocess"] (see {!Preprocess.Pipeline.run}),
+    per-subproblem construction and descents under ["construction"] and
+    ["sampling"] (see {!S2bdd.estimate}; subproblem observers are
+    merged back in subproblem order, so the stats are deterministic at
+    any [jobs]). Instrumentation never changes results.
 
     With [extension = true] (default) the graph is pruned, decomposed
     at bridges and transformed first (Section 5); each subproblem gets

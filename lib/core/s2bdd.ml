@@ -121,17 +121,10 @@ let descent_scratch size =
 let descend_detailed ctx dsu rng ~detail ~pos st =
   F.descend_union ctx ~dsu ~detail ~pos st ~bernoulli:(fun p -> Prng.bernoulli rng p)
 
-(* Horvitz–Thompson weight q / (1 - (1 - q)^n) from log q, stable for
-   astronomically small q (limit 1/n). *)
-let ht_weight ~logq ~n =
-  let nf = float_of_int n in
-  if logq < -600. then 1. /. nf
-  else
-    let q = Float.exp logq in
-    if q >= 1. then 1.
-    else
-      let pi = -.Float.expm1 (nf *. Float.log1p (-.q)) in
-      if pi <= 0. then 1. /. nf else q /. pi
+(* Horvitz–Thompson weight q / (1 - (1 - q)^n): the single shared
+   implementation lives in Mcsampling (this module used to carry a
+   divergent copy with its own underflow threshold). *)
+let ht_weight = Mcsampling.ht_weight
 
 (* Within-node reliability estimate from [n >= 1] descents. *)
 let node_r_hat ctx cfg dsu rng ~pos st ~n =
@@ -181,20 +174,29 @@ let resolve_order cfg g ~terminals =
   | `Strategy s -> O.order_edges s g
   | `Explicit o -> o
 
-let estimate ?pool ?(config = default_config) g ~terminals =
+let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals =
   Ugraph.validate_terminals g terminals;
   let cfg = config in
   if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
   if cfg.width <= 0 then invalid_arg "S2bdd.estimate: width <= 0";
-  if List.length terminals < 2 then trivial_result cfg 1.
-  else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then
+  let co = Obs.sub obs "construction" in
+  if List.length terminals < 2 then begin
+    Obs.incr co "trivial";
+    trivial_result cfg 1.
+  end
+  else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then begin
+    Obs.incr co "trivial";
     trivial_result cfg 0.
+  end
   else if
     not
       (Graphalgo.Connectivity.terminals_connected g
          ~present:(Array.make (Ugraph.n_edges g) true)
          terminals)
-  then trivial_result cfg 0.
+  then begin
+    Obs.incr co "trivial";
+    trivial_result cfg 0.
+  end
   else begin
     let order = resolve_order cfg g ~terminals in
     let ctx = F.make g ~order ~terminals in
@@ -212,6 +214,7 @@ let estimate ?pool ?(config = default_config) g ~terminals =
     let stagnant = ref 0 in
     let stop = ref Completed in
     let work = ref 0 in
+    let merges = ref 0 in
     let deleted_mass = ref Xprob.zero in
     let update_s_cur () =
       s_cur :=
@@ -253,6 +256,7 @@ let estimate ?pool ?(config = default_config) g ~terminals =
        the deletion heuristic reads d values in O(state size). *)
     let rem = Array.init (Ugraph.n_vertices g) (Ugraph.degree g) in
     let pos = ref 0 in
+    let t_build = Obs.now obs in
     while !stop = Completed && !pos < m && F.Key_table.length !current > 0 do
       let e = F.edge_at ctx !pos in
       let resolved_before =
@@ -270,7 +274,9 @@ let estimate ?pool ?(config = default_config) g ~terminals =
             | F.Live st' -> (
               let key = key_fn st' in
               match F.Key_table.find_opt next key with
-              | Some (_, acc) -> acc := Xprob.add !acc p'
+              | Some (_, acc) ->
+                incr merges;
+                acc := Xprob.add !acc p'
               | None -> F.Key_table.replace next key (st', ref p'))
           end
         in
@@ -327,6 +333,11 @@ let estimate ?pool ?(config = default_config) g ~terminals =
         Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
       in
       let gain = resolved_after -. resolved_before in
+      (* Per-layer trajectory: pre-deletion width and the resolved-mass
+         bounds after the layer (bounded series; see Obs.series). *)
+      Obs.series co "width" (float_of_int width);
+      Obs.series co "pc" (Xprob.to_float_approx !pc);
+      Obs.series co "pd" (Xprob.to_float_approx !pd);
       if saturated && gain < cfg.min_progress *. (1. -. resolved_before) then begin
         incr stagnant;
         if !stagnant >= cfg.patience then stop := Stagnated
@@ -365,19 +376,45 @@ let estimate ?pool ?(config = default_config) g ~terminals =
         invalid_arg "S2bdd.estimate: live states after the final layer";
       F.Key_table.iter (fun _ (st, pn) -> consume_node ~pos:!pos st !pn) !current
     end;
+    Obs.record_span co "build" (Obs.now obs -. t_build);
+    Obs.add co "layers" !pos;
+    Obs.add co "merges" !merges;
+    Obs.add co "work" !work;
+    Obs.add co "deleted_nodes" !deleted_nodes;
+    Obs.add co "sampled_nodes" !sampled_nodes;
+    Obs.gauge_max co "max_width" (float_of_int !max_width);
+    Obs.gauge_max co "peak_state_words" (float_of_int !peak_state_words);
+    Obs.gauge co "s_reduced" (float_of_int !s_cur);
+    Obs.text co "stop" (stop_reason_name !stop);
+    Obs.incr co ("stop_" ^ stop_reason_name !stop);
     (* Stratified descents: every consumed node is an independent task;
        run them on the pool (or inline) and fold the per-task
        contributions in consumption order. *)
     let task_arr = Array.of_list (List.rev !tasks) in
     let dsu_size = 2 * Ugraph.n_vertices g in
+    let so = Obs.sub obs "sampling" in
+    Obs.text so "estimator"
+      (match cfg.estimator with Monte_carlo -> "mc" | Horvitz_thompson -> "ht");
+    Obs.add so "descent_tasks" (Array.length task_arr);
+    Obs.add so "samples" !samples_drawn;
     let contribs =
       Par.run ?pool (Array.length task_arr) (fun i ->
+          let t0 = Obs.now obs in
           let t = task_arr.(i) in
           let dsu = descent_scratch dsu_size in
-          t.t_factor
-          *. node_r_hat ctx cfg dsu t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n)
+          let c =
+            t.t_factor
+            *. node_r_hat ctx cfg dsu t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n
+          in
+          (c, Obs.now obs -. t0))
     in
-    let contribution = Array.fold_left ( +. ) 0. contribs in
+    let contribution =
+      Array.fold_left
+        (fun acc (c, dt) ->
+          Obs.record_span so "descent" dt;
+          acc +. c)
+        0. contribs
+    in
     let lower = Xprob.to_float_approx !pc in
     let upper = 1. -. Xprob.to_float_approx !pd in
     let exact = !deleted_nodes = 0 && !stop = Completed in

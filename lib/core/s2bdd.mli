@@ -100,11 +100,24 @@ type result = {
 }
 
 val estimate :
-  ?pool:Par.Pool.t -> ?config:config -> Ugraph.t -> terminals:int list -> result
+  ?pool:Par.Pool.t -> ?obs:Obs.t -> ?config:config -> Ugraph.t ->
+  terminals:int list -> result
 (** Estimate [R[G, T]] with an S2BDD over the graph as given (no
     extension technique; see {!Reliability.estimate} for the full
     Algorithm 1). Handles [k < 2] and topologically separated terminals
     without construction.
+
+    [obs] (default {!Obs.disabled}) records the construction account
+    under ["construction"] — per-layer [width]/[pc]/[pd] series, the
+    [merges]/[layers]/[work]/[deleted_nodes]/[sampled_nodes] counters,
+    [max_width]/[peak_state_words]/[s_reduced] gauges, the [stop]
+    reason and a [build] timer — and the stratified descents under
+    ["sampling"] ([descent_tasks], [samples], per-task [descent] spans,
+    the [estimator] text). Instrumentation never touches the random
+    streams: results are bit-identical with and without [obs]. The
+    observer must be owned by the calling thread; descent tasks only
+    measure durations locally and the caller records them in task
+    order.
 
     When [pool] is given, the stratified DP descents of deleted and
     leftover nodes run on it: construction stays sequential (each layer

@@ -1,0 +1,84 @@
+module J = Obs.Json
+
+type run = {
+  command : string;
+  method_ : string;
+  graph : string;
+  terminals : int list;
+  seed : int;
+  jobs : int;
+  samples : int;
+  width : int;
+}
+
+let schema_version = 1
+
+let required_keys =
+  [ "netrel"; "run"; "preprocess"; "construction"; "sampling"; "par"; "result" ]
+
+let phase rendered name =
+  match J.member name rendered with Some v -> v | None -> J.Obj []
+
+let result_of_report (r : Reliability.report) =
+  J.Obj
+    [
+      ("value", J.Float r.value);
+      ("lower", J.Float r.lower);
+      ("upper", J.Float r.upper);
+      ("exact", J.Bool r.exact);
+      ("s_given", J.Int r.s_given);
+      ("s_reduced", J.Int r.s_reduced);
+      ("samples_drawn", J.Int r.samples_drawn);
+      ("subproblems", J.Int (List.length r.subresults));
+    ]
+
+let result_of_estimate (e : Mcsampling.estimate) =
+  J.Obj
+    [
+      ("value", J.Float e.value);
+      ("samples_used", J.Int e.samples_used);
+      ("hits", J.Int e.hits);
+      ("distinct", J.Int e.distinct);
+      ("variance_estimate", J.Float e.variance_estimate);
+      ("jobs_used", J.Int e.jobs_used);
+      ("chunks", J.Int (Array.length e.chunk_samples));
+    ]
+
+let result_value ~value ~exact =
+  J.Obj [ ("value", J.Float value); ("exact", J.Bool exact) ]
+
+let build ~obs ~run ~seconds ~result =
+  let rendered = Obs.to_json obs in
+  let pc = Par.counters () in
+  let par_section =
+    match phase rendered "par" with
+    | J.Obj fields ->
+        J.Obj
+          (fields
+          @ [ ("batches", J.Int pc.Par.batches); ("tasks", J.Int pc.Par.tasks) ])
+    | other -> other
+  in
+  J.Obj
+    [
+      ( "netrel",
+        J.Obj
+          [ ("emitter", J.Str "netrel"); ("schema", J.Int schema_version) ] );
+      ( "run",
+        J.Obj
+          [
+            ("command", J.Str run.command);
+            ("method", J.Str run.method_);
+            ("graph", J.Str run.graph);
+            ("terminals", J.List (List.map (fun t -> J.Int t) run.terminals));
+            ("seed", J.Int run.seed);
+            ("jobs", J.Int run.jobs);
+            ("samples", J.Int run.samples);
+            ("width", J.Int run.width);
+            ("seconds", J.Float seconds);
+          ] );
+      ("preprocess", phase rendered "preprocess");
+      ("construction", phase rendered "construction");
+      ("sampling", phase rendered "sampling");
+      ("par", par_section);
+      ("result", result);
+    ]

@@ -1,0 +1,47 @@
+(** Assembly of the one-JSON-document-per-run structured stats report
+    behind the CLI's [--stats json] flag (and bench's BENCH_*.json
+    per-phase breakdowns).
+
+    The document's top level is fixed: [netrel] (emitter identity and
+    schema version), [run] (what was asked), [preprocess],
+    [construction], [sampling] and [par] (the per-phase accounts
+    recorded into an {!Obs.t} during the run — empty objects for phases
+    that did not execute), and [result] (what came out). Keys inside
+    the phase objects are sorted ({!Obs.to_json}), so for a fixed seed
+    and a deterministic clock the document is byte-stable. *)
+
+type run = {
+  command : string;    (** e.g. ["estimate"] or ["bench"] *)
+  method_ : string;    (** estimation method name, e.g. ["pro"], ["mc"] *)
+  graph : string;      (** dataset abbreviation or file path *)
+  terminals : int list;
+  seed : int;
+  jobs : int;          (** effective domain count *)
+  samples : int;
+  width : int;
+}
+
+val schema_version : int
+
+val required_keys : string list
+(** The fixed top-level keys, in emission order: every document
+    {!build} produces binds exactly these. *)
+
+val result_of_report : Reliability.report -> Obs.Json.t
+(** [result] object for a full-pipeline run: value, bounds, exactness,
+    budgets and the subproblem count. *)
+
+val result_of_estimate : Mcsampling.estimate -> Obs.Json.t
+(** [result] object for a plain sampler run: value, samples, hits,
+    distinct, variance and the chunk count. *)
+
+val result_value : value:float -> exact:bool -> Obs.Json.t
+(** Minimal [result] object (exact BDD / brute force). *)
+
+val build :
+  obs:Obs.t -> run:run -> seconds:float -> result:Obs.Json.t -> Obs.Json.t
+(** One stats document: phase sections are pulled out of [obs]'s
+    rendered tree (absent sections become [{}]), [seconds] is the
+    end-to-end wall-clock of the run as measured by the caller on
+    [obs]'s clock, and the current {!Par.counters} snapshot is folded
+    into the [par] section. *)

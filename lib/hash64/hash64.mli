@@ -1,0 +1,42 @@
+(** 62-bit content hashing built on a full-avalanche 64-bit mixer.
+
+    This replaces the weakened FNV-1a variants that used to identify
+    sampled possible graphs (the HT dedup in {!Mcsampling} and the
+    descent dedup in [Fstate]). Those hashed one [bool] per step with a
+    32-bit FNV prime, so a flipped input bit could only ever influence
+    {e higher} output bits — the low bits of the state depended on just
+    a handful of trailing mask positions, and structured mask pairs
+    collided far more often than the [2^-62] a uniform hash promises.
+    Colliding masks are silently merged by the dedup tables, biasing
+    the Horvitz–Thompson estimate.
+
+    Here every 62-bit word of packed mask bits is folded into a 64-bit
+    state through the splitmix64 finalizer, whose two xor-shift-multiply
+    rounds diffuse each input bit to every output bit.  The total bit
+    count is folded in at the end so masks of different lengths sharing
+    a prefix cannot collide trivially. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 / murmur3-style finalizer: a bijective full-avalanche
+    mix of a 64-bit word. *)
+
+val mask : bool array -> int -> int
+(** [mask present m] hashes the first [m] entries of [present] (packed
+    LSB-first into 62-bit words) to a non-negative 62-bit native int.
+    Equivalent to streaming the bits through {!Stream} and calling
+    {!Stream.finish}. *)
+
+(** Incremental interface for call sites that produce bits one at a
+    time (e.g. [Fstate]'s stratified descents, which discover the edge
+    outcomes during the walk). *)
+module Stream : sig
+  type t
+
+  val create : unit -> t
+
+  val add_bit : t -> bool -> unit
+
+  val finish : t -> int
+  (** Fold in the bit count and return the non-negative 62-bit digest.
+      The stream must not be reused afterwards. *)
+end

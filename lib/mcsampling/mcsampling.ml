@@ -22,9 +22,12 @@ let validate g ~terminals ~samples ~jobs =
   if samples <= 0 then invalid_arg "Mcsampling: samples <= 0";
   if jobs <= 0 then invalid_arg "Mcsampling: jobs <= 0"
 
-let trivial_estimate value samples =
-  { value; samples_used = samples; hits = (if value > 0. then samples else 0);
-    distinct = 1; variance_estimate = 0.; jobs_used = 1; chunk_samples = [||] }
+(* The [k < 2] answer needs no sampling, and the estimate says so:
+   nothing was drawn, nothing hit, nothing deduplicated — only [value]
+   and the domain budget carry information. *)
+let trivial_estimate ~jobs value =
+  { value; samples_used = 0; hits = 0; distinct = 0; variance_estimate = 0.;
+    jobs_used = Par.effective_jobs jobs; chunk_samples = [||] }
 
 (* Per-domain sampling scratch: one edge mask and one union-find reused
    across every chunk the domain executes. Scratch contents never leak
@@ -57,15 +60,29 @@ let draw_sample rng g present =
     g;
   !prob
 
-(* FNV-1a over the mask bits: the 62-bit content hash that identifies a
-   sampled possible graph for the HT dedup. *)
-let mask_hash present m =
-  let h = ref 0x811C9DC5 in
-  for eid = 0 to m - 1 do
-    let bit = if present.(eid) then 0x9E37 else 0x79B9 in
-    h := (!h lxor (bit + eid)) * 0x01000193 land max_int
-  done;
-  !h
+(* The 62-bit content hash that identifies a sampled possible graph for
+   the HT dedup. Packed-word mixing (Hash64) replaced a per-bool FNV-1a
+   whose 32-bit prime only diffused bits upward; the old hash admitted
+   structured collision pairs that silently merged distinct possible
+   graphs (see the regression test in test_core.ml). *)
+let mask_hash present m = Hash64.mask present m
+
+(* pi_i = 1 - (1 - q)^s, and the HT weight q / pi_i, computed stably
+   from log q (natural log), which survives probabilities far below
+   float range. For q -> 0 the weight tends to 1/s; it is 1 at q = 1.
+   Shared by Sampling(HT) and the S2BDD descent estimator — the two
+   call sites previously carried divergent underflow thresholds. *)
+let ht_weight ~logq ~n =
+  let nf = float_of_int n in
+  if logq >= 0. then 1.
+  else if logq < -690. then 1. /. nf (* exp would underflow below ~1e-300 *)
+  else
+    let q = Float.exp logq in
+    let pi = -.Float.expm1 (nf *. Float.log1p (-.q)) in
+    if pi <= 0. then 1. /. nf else q /. pi
+
+let ln2 = Float.log 2.
+let ht_weight_x q_x s = ht_weight ~logq:(Xprob.log2 q_x *. ln2) ~n:s
 
 (* The per-chunk master streams, split in chunk order from the seed:
    stream [i] belongs to chunk [i] no matter which domain runs it. *)
@@ -73,16 +90,24 @@ let chunk_streams ~seed n =
   let master = Prng.create seed in
   Array.init n (fun _ -> Prng.split master)
 
-let monte_carlo ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
+let monte_carlo ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
+    ~samples =
   validate g ~terminals ~samples ~jobs;
-  if List.length terminals < 2 then trivial_estimate 1. samples
-  else begin
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "mc";
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    trivial_estimate ~jobs 1.
+  end
+  else
+    Obs.time o "total" @@ fun () ->
     let m = Ugraph.n_edges g in
     let n = Ugraph.n_vertices g in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
     let chunk_hits =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let s = get_scratch ~n_edges:m ~n_vertices:n in
@@ -96,37 +121,42 @@ let monte_carlo ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
                  terminals
             then incr hits
           done;
-          !hits)
+          (!hits, Obs.now obs -. t0))
     in
     (* Ordered reduction: integer hits fold in chunk order (associative
        here, but the convention keeps every reducer shape-identical). *)
-    let hits = Array.fold_left ( + ) 0 chunk_hits in
+    let hits =
+      Array.fold_left
+        (fun acc (h, dt) ->
+          Obs.record_span o "chunk" dt;
+          acc + h)
+        0 chunk_hits
+    in
     let value = float_of_int hits /. float_of_int samples in
+    Obs.add o "samples" samples;
+    Obs.add o "hits" hits;
+    Obs.add o "connectivity_checks" samples;
     {
       value;
       samples_used = samples;
       hits;
-      distinct = samples;
+      distinct = 0;
       variance_estimate = value *. (1. -. value) /. float_of_int samples;
       jobs_used = Par.effective_jobs jobs;
       chunk_samples = Array.map snd chunks;
     }
-  end
 
-(* pi_i = 1 - (1 - q)^s, and the HT weight q / pi_i, computed stably.
-   For q below float range the weight tends to 1/s. *)
-let ht_weight q_x s =
-  let s_f = float_of_int s in
-  let q = Xprob.to_float_approx q_x in
-  if q <= 0. || q < 1e-280 then 1. /. s_f
-  else
-    let pi = -.Float.expm1 (s_f *. Float.log1p (-.q)) in
-    if pi <= 0. then 1. /. s_f else q /. pi
-
-let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
+let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
+    ~samples =
   validate g ~terminals ~samples ~jobs;
-  if List.length terminals < 2 then trivial_estimate 1. samples
-  else begin
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "ht";
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    trivial_estimate ~jobs 1.
+  end
+  else
+    Obs.time o "total" @@ fun () ->
     let m = Ugraph.n_edges g in
     let n = Ugraph.n_vertices g in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
@@ -138,6 +168,7 @@ let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
        layout. Connectivity runs once per chunk-distinct mask. *)
     let chunk_tables =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let s = get_scratch ~n_edges:m ~n_vertices:n in
@@ -156,7 +187,7 @@ let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
               order := h :: !order
             end
           done;
-          (seen, List.rev !order))
+          (seen, List.rev !order, Obs.now obs -. t0))
     in
     (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk
        order, keeping the first occurrence of every hash — exactly what
@@ -164,19 +195,23 @@ let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
        chunk order is sample order. The surviving entries, enumerated
        in global first-occurrence order, drive the pi-weighted sum, so
        the float accumulation order is fixed. *)
-    let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
-    let entries = ref [] in
-    Array.iter
-      (fun (tab, order) ->
-        List.iter
-          (fun h ->
-            if not (Hashtbl.mem merged h) then begin
-              Hashtbl.add merged h ();
-              entries := Hashtbl.find tab h :: !entries
-            end)
-          order)
-      chunk_tables;
-    let entries = List.rev !entries in
+    let entries =
+      Obs.time o "merge" @@ fun () ->
+      let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
+      let entries = ref [] in
+      Array.iter
+        (fun (tab, order, dt) ->
+          Obs.record_span o "chunk" dt;
+          List.iter
+            (fun h ->
+              if not (Hashtbl.mem merged h) then begin
+                Hashtbl.add merged h ();
+                entries := Hashtbl.find tab h :: !entries
+              end)
+            order)
+        chunk_tables;
+      List.rev !entries
+    in
     let hits =
       List.fold_left (fun acc (_, connected) -> if connected then acc + 1 else acc)
         0 entries
@@ -184,7 +219,7 @@ let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
     let value =
       List.fold_left
         (fun acc (q, connected) ->
-          if connected then acc +. ht_weight q samples else acc)
+          if connected then acc +. ht_weight_x q samples else acc)
         0. entries
     in
     (* Plug-in variance, Equation (8): the first term uses the estimate,
@@ -200,13 +235,18 @@ let horvitz_thompson ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
         0. entries
     in
     let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
+    let distinct = List.length entries in
+    Obs.add o "samples" samples;
+    Obs.add o "hits" hits;
+    Obs.add o "distinct" distinct;
+    Obs.add o "connectivity_checks" distinct;
+    Obs.gauge o "dedup_ratio" (float_of_int distinct /. float_of_int samples);
     {
       value;
       samples_used = samples;
       hits;
-      distinct = List.length entries;
+      distinct;
       variance_estimate = Float.max 0. v;
       jobs_used = Par.effective_jobs jobs;
       chunk_samples = Array.map snd chunks;
     }
-  end

@@ -16,16 +16,26 @@
     estimate is bit-identical at every [jobs] value} (including the
     sequential [jobs = 1] fast path, which runs the same chunked code
     on the calling domain). Each domain reuses one edge-mask and one
-    union–find scratch across the chunks it executes. *)
+    union–find scratch across the chunks it executes.
+
+    {2 Instrumentation}
+
+    Both samplers accept an {!Obs.t} and record under the ["sampling"]
+    prefix: counters [samples], [hits], [connectivity_checks] (and, for
+    HT, [distinct] plus a [dedup_ratio] gauge), per-chunk spans on the
+    [chunk] timer, a [total] timer, and for HT a [merge] timer around
+    the ordered table merge. Timings are measured but results are
+    unchanged: instrumentation never touches the sampling streams. *)
 
 type estimate = {
   value : float;          (** estimated network reliability *)
-  samples_used : int;
+  samples_used : int;     (** samples drawn ([0] for the trivial
+                              [k < 2] answer, which draws nothing) *)
   hits : int;             (** samples in which the terminals connect;
                               for HT, counted over distinct samples *)
   distinct : int;
-      (** distinct possible graphs among the samples (HT only;
-          equals [samples_used] for MC) *)
+      (** distinct possible graphs among the samples. {b HT only}: MC
+          never deduplicates and reports [0] here rather than guess *)
   variance_estimate : float;
       (** plug-in variance: Equation (2) for MC, Equation (8) for HT *)
   jobs_used : int;
@@ -34,30 +44,49 @@ type estimate = {
   chunk_samples : int array;
       (** per-chunk sample allocation, fixed by [samples] alone —
           the work units distributed over the domain pool ([[||]] for
-          the trivial [k < 2] answer, which draws nothing) *)
+          the trivial [k < 2] answer) *)
 }
 
+val mask_hash : bool array -> int -> int
+(** [mask_hash present m] is the non-negative 62-bit content hash of the
+    first [m] mask bits ({!Hash64.mask}) identifying a sampled possible
+    graph in the HT dedup tables. Exposed for the collision regression
+    tests. *)
+
+val ht_weight : logq:float -> n:int -> float
+(** The Horvitz–Thompson weight [q / pi] with [pi = 1 - (1 - q)^n],
+    computed stably from [logq = ln q] (so probabilities far below
+    float range are handled): [1/n <= ht_weight ~logq ~n <= 1], tending
+    to [1/n] as [q -> 0] and equal to [1] at [q = 1]. This is the
+    single shared implementation used by {!horvitz_thompson} and by the
+    S2BDD descent estimator. *)
+
 val monte_carlo :
-  ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list -> samples:int ->
-  estimate
+  ?obs:Obs.t -> ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list ->
+  samples:int -> estimate
 (** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)]. [jobs]
     (default 1) sets the domain count; see the determinism contract
-    above. @raise Invalid_argument on invalid terminals,
-    [samples <= 0], or [jobs <= 0]. *)
+    above. MC draws with replacement and never deduplicates, so
+    [distinct = 0] (not measured). @raise Invalid_argument on invalid
+    terminals, [samples <= 0], or [jobs <= 0]. *)
 
 val horvitz_thompson :
-  ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list -> samples:int ->
-  estimate
+  ?obs:Obs.t -> ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list ->
+  samples:int -> estimate
 (** Horvitz–Thompson over the distinct sampled possible graphs:
     [R^ = sum_i I * Pr[Gp_i] / pi_i] with
     [pi_i = 1 - (1 - Pr[Gp_i])^s].
 
-    Sampled graphs are deduplicated by a 62-bit FNV-1a content hash of
-    the edge mask. A hash collision {e merges} the colliding masks: the
-    later mask is treated as a duplicate of the earlier one, so its
-    probability and indicator are dropped from the sum — a bias of
-    order [2^-62] per sample pair, negligible against sampling error
-    but not exactly zero (the hash is not a perfect identity).
+    Sampled graphs are deduplicated by a 62-bit content hash of the
+    edge mask ({!mask_hash}, full-avalanche packed-word mixing). A hash
+    collision {e merges} the colliding masks: the later mask is treated
+    as a duplicate of the earlier one, so its probability and indicator
+    are dropped from the sum — a bias of order [2^-62] per sample pair,
+    negligible against sampling error but not exactly zero (the hash is
+    not a perfect identity). The previous per-bool FNV-1a variant made
+    that bias real: its 32-bit prime only carried flipped input bits
+    upward, admitting structured collision pairs (see the regression
+    test), which is why it was replaced.
 
     Under chunking, each chunk deduplicates locally and the per-chunk
     tables are then merged in chunk order before the pi-weighted sum,

@@ -19,6 +19,25 @@ let effective_jobs requested =
   | Some j -> j
   | None -> min requested max_jobs
 
+(* Process-wide execution counters, for the structured-stats report:
+   one batch per entry into a Par mapping (including the sequential
+   fast paths, which are batches of the same work), one task per
+   element mapped. Monotone over the process lifetime — report sites
+   snapshot before and after the work they account for. *)
+let batch_counter = Atomic.make 0
+let task_counter = Atomic.make 0
+
+type counters = { batches : int; tasks : int }
+
+let count_batch n =
+  if n > 0 then begin
+    Atomic.incr batch_counter;
+    ignore (Atomic.fetch_and_add task_counter n)
+  end
+
+let counters () =
+  { batches = Atomic.get batch_counter; tasks = Atomic.get task_counter }
+
 let chunks ~total ~target =
   if total < 0 then invalid_arg "Par.chunks: total < 0";
   if target < 1 then invalid_arg "Par.chunks: target < 1";
@@ -107,6 +126,7 @@ module Pool = struct
      on other domains. Results land in a slot array, so the reduction
      the caller performs afterwards is in index order by construction. *)
   let map t n f =
+    count_batch n;
     if n <= 0 then [||]
     else if Array.length t.workers = 0 || n = 1 then Array.init n f
     else begin
@@ -198,8 +218,14 @@ let run ?pool n f =
   | None -> (
     match forced_domains () with
     | Some j when j > 1 -> Pool.map (Pool.shared ~jobs:j) n f
-    | _ -> Array.init n f)
+    | _ ->
+      count_batch n;
+      Array.init n f)
 
 let run_jobs ~jobs n f =
   let jobs = effective_jobs jobs in
-  if jobs <= 1 then Array.init n f else Pool.map (Pool.shared ~jobs) n f
+  if jobs <= 1 then begin
+    count_batch n;
+    Array.init n f
+  end
+  else Pool.map (Pool.shared ~jobs) n f

@@ -42,6 +42,16 @@ val effective_jobs : int -> int
     result into [[1, max_jobs]].
     @raise Invalid_argument if [requested < 1]. *)
 
+type counters = { batches : int; tasks : int }
+
+val counters : unit -> counters
+(** Process-wide execution totals: [batches] entries into a Par mapping
+    ({!run}, {!run_jobs} or {!Pool.map}, including their sequential
+    fast paths) and [tasks] elements mapped, both monotone over the
+    process lifetime. Report sites snapshot before and after the work
+    they account for; the counters are informational and never affect
+    results. *)
+
 val chunks : total:int -> target:int -> (int * int) array
 (** [chunks ~total ~target] splits [total] work items into
     [ceil (total / target)] contiguous chunks returned as

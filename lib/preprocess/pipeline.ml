@@ -75,30 +75,58 @@ let decompose pruned terminals =
   in
   (!pb, !n_bridges, subs)
 
-let run g ~terminals =
+(* Record the per-phase reduction account under "preprocess.". *)
+let observe_stats o st =
+  Obs.add o "original_vertices" st.original_vertices;
+  Obs.add o "original_edges" st.original_edges;
+  Obs.add o "pruned_vertices" st.pruned_vertices;
+  Obs.add o "pruned_edges" st.pruned_edges;
+  Obs.add o "bridges" st.n_bridges;
+  Obs.add o "subproblems" st.n_subproblems;
+  Obs.add o "final_edges" st.final_edges;
+  Obs.add o "transform_rounds" st.transform_rounds;
+  Obs.gauge o "reduction_ratio" (reduction_ratio st)
+
+let run ?(obs = Obs.disabled) g ~terminals =
   Ugraph.validate_terminals g terminals;
-  if List.length terminals < 2 then Trivial Xprob.one
+  let o = Obs.sub obs "preprocess" in
+  let trivial label x =
+    Obs.text o "outcome" label;
+    Trivial x
+  in
+  if List.length terminals < 2 then trivial "trivial_one" Xprob.one
   else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then
-    Trivial Xprob.zero
+    trivial "trivial_zero" Xprob.zero
   else begin
-    let bt = BT.build g ~terminals in
-    if BT.terminals_separated bt then Trivial Xprob.zero
-    else begin
-      (* Prune: restrict to the Steiner subtree of the block tree. *)
-      let keep_comps = BT.steiner_keep bt in
-      let keep_vertex = BT.kept_vertices bt keep_comps in
-      let kept =
-        Array.of_list
-          (List.filter (fun v -> keep_vertex.(v))
-             (List.init (Ugraph.n_vertices g) Fun.id))
-      in
-      let pruned, old_of_new = Ugraph.induced g kept in
-      let terminals' = Ugraph.relabel_terminals ~old_of_new terminals in
+    (* Prune: restrict to the Steiner subtree of the block tree. *)
+    let pruned_opt =
+      Obs.time o "prune" @@ fun () ->
+      let bt = BT.build g ~terminals in
+      if BT.terminals_separated bt then None
+      else begin
+        let keep_comps = BT.steiner_keep bt in
+        let keep_vertex = BT.kept_vertices bt keep_comps in
+        let kept =
+          Array.of_list
+            (List.filter (fun v -> keep_vertex.(v))
+               (List.init (Ugraph.n_vertices g) Fun.id))
+        in
+        let pruned, old_of_new = Ugraph.induced g kept in
+        let terminals' = Ugraph.relabel_terminals ~old_of_new terminals in
+        Some (pruned, terminals')
+      end
+    in
+    match pruned_opt with
+    | None -> trivial "trivial_zero" Xprob.zero
+    | Some (pruned, terminals') ->
       (* Decompose at the surviving bridges. *)
-      let pb, n_bridges, raw_subs = decompose pruned terminals' in
+      let pb, n_bridges, raw_subs =
+        Obs.time o "decompose" @@ fun () -> decompose pruned terminals'
+      in
       (* Transform each subproblem. *)
       let rounds = ref 0 in
       let subproblems =
+        Obs.time o "transform" @@ fun () ->
         List.filter_map
           (fun sp ->
             let tr = Transform.run sp.graph ~terminals:sp.terminals in
@@ -121,7 +149,7 @@ let run g ~terminals =
                  sp.terminals))
           subproblems
       in
-      if zero then Trivial Xprob.zero
+      if zero then trivial "trivial_zero" Xprob.zero
       else begin
         let final_edges =
           List.fold_left (fun acc sp -> acc + Ugraph.n_edges sp.graph) 0 subproblems
@@ -142,7 +170,8 @@ let run g ~terminals =
             transform_rounds = !rounds;
           }
         in
+        Obs.text o "outcome" "reduced";
+        observe_stats o stats;
         Reduced { pb; subproblems; stats }
       end
-    end
   end

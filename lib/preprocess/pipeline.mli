@@ -36,8 +36,13 @@ type outcome =
       stats : stats;
     }
 
-val run : Ugraph.t -> terminals:int list -> outcome
-(** @raise Invalid_argument on an invalid terminal set (empty terminal
+val run : ?obs:Obs.t -> Ugraph.t -> terminals:int list -> outcome
+(** [obs] (default {!Obs.disabled}) records the per-phase account under
+    the ["preprocess"] prefix: [prune]/[decompose]/[transform] timers,
+    the {!stats} fields as counters, a [reduction_ratio] gauge and an
+    [outcome] text ([trivial_one], [trivial_zero] or [reduced]).
+
+    @raise Invalid_argument on an invalid terminal set (empty terminal
     sets are invalid; use the graph itself for k = 0 semantics). *)
 
 val reduction_ratio : stats -> float

@@ -1,0 +1,56 @@
+The structured stats document behind `--stats json`: one JSON object per
+run with a fixed set of top-level keys. NETREL_FAKE_CLOCK pins the
+observer clock to 0, so for a fixed seed at --jobs 1 the document is
+byte-stable across runs.
+
+  $ export NETREL_FAKE_CLOCK=1
+
+The default (pro) method on a dataset that preprocesses to an exact
+answer — every phase section is present, in order:
+
+  $ netrel estimate --dataset am-rv --terminals 0,50,100 --jobs 1 --stats json > stats1.json
+  $ grep -E '^  "(netrel|run|preprocess|construction|sampling|par|result)":' stats1.json
+    "netrel": {
+    "run": {
+    "preprocess": {
+    "construction": {
+    "sampling": {
+    "par": {
+    "result": {
+
+Run metadata records what was asked; the result carries the estimate:
+
+  $ grep -E '^    "(command|method|graph|seconds)"' stats1.json
+      "command": "estimate",
+      "method": "pro",
+      "graph": "Am-Rv",
+      "seconds": 0.0
+  $ grep -E '^    "(value|exact)"' stats1.json
+      "value": 0.046087808504265595,
+      "exact": true,
+
+Byte-stability: a second identical invocation produces the identical
+document:
+
+  $ netrel estimate --dataset am-rv --terminals 0,50,100 --jobs 1 --stats json > stats2.json
+  $ cmp stats1.json stats2.json
+
+The plain Horvitz-Thompson sampler fills the sampling section instead,
+including the dedup account the estimator runs on:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-ht \
+  >   --samples 2000 --jobs 1 --stats json > ht.json
+  $ grep -E '"(estimator|dedup_ratio|samples_used)"' ht.json
+      "dedup_ratio": 1.0,
+      "estimator": "ht",
+      "samples_used": 2000,
+
+The document is parseable by the bundled JSON parser (the bench harness
+re-validates BENCH_*.json the same way), and trivial runs stay honest:
+a one-terminal problem reports zero samples drawn:
+
+  $ netrel estimate --dataset karate --terminals 0 --method sampling-mc \
+  >   --jobs 1 --stats json | grep -E '"(value|samples_used|hits)"'
+      "value": 1.0,
+      "samples_used": 0,
+      "hits": 0,

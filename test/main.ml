@@ -18,4 +18,5 @@ let () =
       Test_bounds_konect.suite;
       Test_integration.suite;
       Test_par.suite;
+      Test_obs.suite;
     ]
