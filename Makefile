@@ -14,10 +14,15 @@ bench-quick:
 
 # Speedup harness on a toy graph: the quick `parallel` section (karate,
 # jobs 1/2/4) with its sequential-vs-parallel bit-identity column, plus
-# the self-validated BENCH_parallel.json stats emission. The same
-# invocation runs under `dune runtest` via bench/dune.
+# the self-validated BENCH_parallel.json stats emission at the repo
+# root. The BENCH_<section>.json artifacts are the tracked perf
+# trajectory (EXPERIMENTS.md); re-run and commit them after
+# performance-relevant changes. The same invocation runs under
+# `dune runtest` via bench/dune. Add BENCH_TRACE=1 to also write
+# BENCH_parallel_trace.json (Chrome trace-event, Perfetto-loadable).
 bench-smoke:
-	dune exec bench/main.exe -- --only parallel --quick --json
+	dune exec bench/main.exe -- --only parallel --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
 
 clean:
 	dune clean

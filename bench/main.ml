@@ -15,6 +15,7 @@ let () =
   let seed = ref 1 in
   let bechamel = ref false in
   let json = ref false in
+  let trace = ref false in
   let spec =
     [
       ("--only", Arg.Set_string only,
@@ -27,6 +28,9 @@ let () =
       ("--bechamel", Arg.Set bechamel, " also run the bechamel microbenchmarks");
       ("--json", Arg.Set json,
        " also write BENCH_<section>.json per-phase stats (self-validated)");
+      ("--trace", Arg.Set trace,
+       " also write BENCH_<section>_trace.json Chrome event traces for the \
+        instrumented runs (self-validated)");
     ]
   in
   Arg.parse spec
@@ -34,7 +38,7 @@ let () =
     "netrel benchmark harness";
   let cfg =
     { Sections.scale = !scale; Sections.quick = !quick; Sections.seed = !seed;
-      Sections.json = !json }
+      Sections.json = !json; Sections.trace = !trace }
   in
   let wanted =
     if !only = "" then List.map fst Sections.all_sections

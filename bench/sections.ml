@@ -16,9 +16,11 @@ type config = {
   quick : bool;    (* cut repetitions / budgets for a fast pass *)
   seed : int;
   json : bool;     (* also write BENCH_<section>.json stats files *)
+  trace : bool;    (* also write BENCH_<section>_trace.json event traces *)
 }
 
-let default_config = { scale = 1.0; quick = false; seed = 1; json = false }
+let default_config =
+  { scale = 1.0; quick = false; seed = 1; json = false; trace = false }
 
 let banner title note =
   Printf.printf "\n=== %s ===\n%s\n\n" title note
@@ -42,10 +44,17 @@ let validate_stats_doc doc =
         failwith (Printf.sprintf "stats document missing top-level key %S" k))
     SD.required_keys
 
-let emit_json cfg ~section runs =
+let emit_json cfg ~section ?(trace = Trace.disabled) runs =
   if cfg.json then begin
     let file = Printf.sprintf "BENCH_%s.json" section in
-    let doc = J.Obj [ ("section", J.Str section); ("runs", J.List runs) ] in
+    let doc =
+      J.Obj
+        [
+          ("section", J.Str section);
+          ("schema", J.Int SD.schema_version);
+          ("runs", J.List runs);
+        ]
+    in
     let out = open_out file in
     output_string out (J.to_string ~pretty:true doc);
     output_char out '\n';
@@ -57,19 +66,42 @@ let emit_json cfg ~section runs =
     let s = really_input_string ic len in
     close_in ic;
     let parsed = J.of_string_exn s in
+    (match J.member "schema" parsed with
+    | Some (J.Int v) when v = SD.schema_version -> ()
+    | _ -> failwith ("missing/wrong schema version in " ^ file));
     (match J.member "runs" parsed with
     | Some (J.List rs) when List.length rs = List.length runs ->
       List.iter validate_stats_doc rs
     | _ -> failwith ("bad runs array in " ^ file));
     Printf.printf "[wrote %s: %d instrumented run(s)]\n" file (List.length runs)
+  end;
+  if Trace.enabled trace then begin
+    let file = Printf.sprintf "BENCH_%s_trace.json" section in
+    let out = open_out file in
+    Trace.write_chrome out trace;
+    close_out out;
+    (* Same discipline as the stats files: reparse and schema-check. *)
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    (match Trace.validate_chrome (J.of_string_exn s) with
+    | Ok () -> ()
+    | Error msg -> failwith (file ^ ": " ^ msg));
+    Printf.printf "[wrote %s: %d event(s)]\n" file
+      (List.length (Trace.events trace) + List.length (Trace.shared_events trace))
   end
 
-(* One instrumented run: execute [f obs], time it on the observer's
-   clock, and assemble the Statsdoc document. *)
-let stats_run cfg ~method_name ~graph ~ts ~s ~w f =
+(* Per-section trace sink (disabled unless --trace): instrumented runs
+   stream their events into it and emit_json writes the Chrome file. *)
+let section_trace cfg = if cfg.trace then Trace.create () else Trace.disabled
+
+(* One instrumented run: execute [f ~obs ~trace], time it on the
+   observer's clock, and assemble the Statsdoc document. *)
+let stats_run cfg ~method_name ~graph ~ts ~s ~w ~trace f =
   let obs = Obs.create () in
   let t0 = Obs.now obs in
-  let result = f obs in
+  let result = f ~obs ~trace in
   let seconds = Obs.now obs -. t0 in
   let run_meta =
     { SD.command = "bench"; method_ = method_name; graph; terminals = ts;
@@ -336,15 +368,17 @@ let table5 cfg =
   Printf.printf "%-8s %14s %16s %12s %12s\n" "Dataset" "Process time"
     "Reduced size" "#subprob" "#bridges";
   let stats_docs = ref [] in
+  let tr = section_trace cfg in
   List.iter
     (fun (d : D.t) ->
       let g = d.D.graph in
       let ts = terminals cfg ~search:1 g ~k in
-      (if cfg.json then
+      (if cfg.json || cfg.trace then
          let doc =
            stats_run cfg ~method_name:"preprocess" ~graph:d.D.abbr ~ts ~s:0 ~w:0
-             (fun obs ->
-               match P.run ~obs g ~terminals:ts with
+             ~trace:tr
+             (fun ~obs ~trace ->
+               match P.run ~obs ~trace g ~terminals:ts with
                | P.Trivial r ->
                  SD.result_value ~value:(Xprob.to_float_approx r) ~exact:true
                | P.Reduced { stats; _ } ->
@@ -353,7 +387,7 @@ let table5 cfg =
                      ("subproblems", J.Int stats.P.n_subproblems);
                      ("bridges", J.Int stats.P.n_bridges) ])
          in
-         stats_docs := doc :: !stats_docs);
+         if cfg.json then stats_docs := doc :: !stats_docs);
       let outcome, dt = Relstats.time (fun () -> P.run g ~terminals:ts) in
       match outcome with
       | P.Trivial _ ->
@@ -365,7 +399,7 @@ let table5 cfg =
           (P.reduction_ratio stats)
           stats.P.n_subproblems stats.P.n_bridges)
     (D.all ~seed:cfg.seed ~scale:cfg.scale ());
-  emit_json cfg ~section:"table5" (List.rev !stats_docs)
+  emit_json cfg ~section:"table5" ~trace:tr (List.rev !stats_docs)
 
 (* ---- Ablation A1: edge ordering ---- *)
 
@@ -553,6 +587,7 @@ let parallel cfg =
     else D.large ~seed:cfg.seed ~scale:cfg.scale ()
   in
   let stats_docs = ref [] in
+  let tr = section_trace cfg in
   List.iter
     (fun (d : D.t) ->
       let g = d.D.graph in
@@ -600,31 +635,33 @@ let parallel cfg =
           let config = s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed in
           let rep = R.estimate ~config ~jobs g ~terminals:ts in
           (rep.R.value, Printf.sprintf "drawn = %d" rep.R.samples_drawn));
-      if cfg.json then begin
-        let add doc = stats_docs := doc :: !stats_docs in
+      if cfg.json || cfg.trace then begin
+        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
         add
           (stats_run cfg ~method_name:"sampling-mc" ~graph:d.D.abbr ~ts ~s ~w
-             (fun obs ->
+             ~trace:tr
+             (fun ~obs ~trace ->
                SD.result_of_estimate
-                 (Mcsampling.monte_carlo ~obs ~seed:cfg.seed ~jobs:1 g
+                 (Mcsampling.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 g
                     ~terminals:ts ~samples:s)));
         add
           (stats_run cfg ~method_name:"sampling-ht" ~graph:d.D.abbr ~ts ~s ~w
-             (fun obs ->
+             ~trace:tr
+             (fun ~obs ~trace ->
                SD.result_of_estimate
-                 (Mcsampling.horvitz_thompson ~obs ~seed:cfg.seed ~jobs:1 g
-                    ~terminals:ts ~samples:s)));
+                 (Mcsampling.horvitz_thompson ~obs ~trace ~seed:cfg.seed ~jobs:1
+                    g ~terminals:ts ~samples:s)));
         add
-          (stats_run cfg ~method_name:"pro" ~graph:d.D.abbr ~ts ~s ~w
-             (fun obs ->
+          (stats_run cfg ~method_name:"pro" ~graph:d.D.abbr ~ts ~s ~w ~trace:tr
+             (fun ~obs ~trace ->
                let config =
                  s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed
                in
                SD.result_of_report
-                 (R.estimate ~obs ~config ~jobs:1 g ~terminals:ts)))
+                 (R.estimate ~obs ~trace ~config ~jobs:1 g ~terminals:ts)))
       end)
     datasets;
-  emit_json cfg ~section:"parallel" (List.rev !stats_docs)
+  emit_json cfg ~section:"parallel" ~trace:tr (List.rev !stats_docs)
 
 let all_sections =
   [

@@ -50,12 +50,29 @@ let dataset_arg =
   Arg.(value & opt (some string) None & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
 
 let verbose_arg =
-  let doc = "Log S2BDD construction progress to stderr." in
+  let doc = "Show live run progress on stderr (alias for $(b,--progress))." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let setup_logs verbose =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level ~all:true (if verbose then Some Logs.Debug else Some Logs.Warning)
+let progress_arg =
+  let doc = "Render a live convergence line on stderr: current phase, \
+             running estimate with its 95% CI half-width, samples drawn \
+             (and rate), HT dedup ratio, construction layer/width." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let trace_arg =
+  let doc = "Stream structured trace events (spans, instants, counters \
+             over preprocessing, S2BDD layers, descents and sampler \
+             chunks, one lane per domain) and write them to $(docv) on \
+             exit — also on error exits, so partial traces stay valid." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc = "Trace file format: $(b,chrome) (Chrome trace-event JSON, \
+             loadable in Perfetto or chrome://tracing; default) or \
+             $(b,jsonl) (a header line plus one JSON object per event)." in
+  Arg.(value
+       & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+       & info [ "trace-format" ] ~docv:"FMT" ~doc)
 
 let seed_arg =
   let doc = "Master random seed (graphs, terminals and sampling are all \
@@ -137,7 +154,7 @@ let method_conv =
    NETREL_FAKE_CLOCK set the whole document is byte-stable in the
    seed (the cram test exercises exactly that). *)
 let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
-    ~jobs =
+    ~jobs ~trace =
   let module SD = Netrel.Statsdoc in
   let obs = Obs.create () in
   let t0 = Obs.now obs in
@@ -147,15 +164,18 @@ let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
       let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
       let config = { S.default_config with S.samples; S.width;
                      S.estimator; S.seed = seed } in
-      let rep = R.estimate ~obs ~config ~extension:(not no_ext) ~jobs g
+      let rep = R.estimate ~obs ~trace ~config ~extension:(not no_ext) ~jobs g
                   ~terminals:ts in
       ((if ht then "pro-ht" else "pro"), SD.result_of_report rep)
     | Sampling_mc ->
-      let est = Mcsampling.monte_carlo ~obs ~seed ~jobs g ~terminals:ts ~samples in
+      let est =
+        Mcsampling.monte_carlo ~obs ~trace ~seed ~jobs g ~terminals:ts ~samples
+      in
       ("sampling-mc", SD.result_of_estimate est)
     | Sampling_ht ->
       let est =
-        Mcsampling.horvitz_thompson ~obs ~seed ~jobs g ~terminals:ts ~samples
+        Mcsampling.horvitz_thompson ~obs ~trace ~seed ~jobs g ~terminals:ts
+          ~samples
       in
       ("sampling-ht", SD.result_of_estimate est)
     | Bdd -> (
@@ -210,16 +230,47 @@ let estimate_cmd =
     Arg.(value & opt (enum [ ("none", `None); ("json", `Json) ]) `None
          & info [ "stats" ] ~docv:"FORMAT" ~doc)
   in
-  let run verbose file dataset seed scale terminals k samples width ht no_ext method_ jobs stats = guarded @@ fun () ->
-    setup_logs verbose;
+  let run verbose file dataset seed scale terminals k samples width ht no_ext
+      method_ jobs stats trace_file trace_format progress = guarded @@ fun () ->
     check_jobs jobs;
     let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
     let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
     (try Ugraph.validate_terminals g ts
      with Invalid_argument msg -> or_die (Error msg));
+    (* The trace sink is created only after every [or_die] above: those
+       exit directly, while library failures below raise and unwind
+       through [finalize], so an open --trace file is always written
+       out (partial but valid) before [guarded] turns the exception
+       into an error exit. *)
+    let reporter =
+      if progress || verbose then Some (Trace.Progress.create ()) else None
+    in
+    let trace =
+      if trace_file = None && Option.is_none reporter then Trace.disabled
+      else
+        Trace.create
+          ?on_event:
+            (Option.map (fun r ev -> Trace.Progress.on_event r ev) reporter)
+          ()
+    in
+    if Trace.enabled trace then Trace.install_par_hook trace;
+    let finalize () =
+      Option.iter Trace.Progress.finish reporter;
+      match trace_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            match trace_format with
+            | `Chrome -> Trace.write_chrome oc trace
+            | `Jsonl -> Trace.write_jsonl oc trace)
+    in
+    Fun.protect ~finally:finalize @@ fun () ->
     match stats with
     | `Json -> run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext
-                 ~method_ ~jobs
+                 ~method_ ~jobs ~trace
     | `None ->
     Printf.printf "graph %s: %s\nterminals: [%s]\n" name
       (Format.asprintf "%a" Ugraph.pp_stats g)
@@ -231,7 +282,8 @@ let estimate_cmd =
                      S.estimator; S.seed = seed } in
       let rep, dt =
         Relstats.time (fun () ->
-            R.estimate ~config ~extension:(not no_ext) ~jobs g ~terminals:ts)
+            R.estimate ~trace ~config ~extension:(not no_ext) ~jobs g
+              ~terminals:ts)
       in
       Printf.printf "R = %.10g%s\nbounds = [%.10g, %.10g]\n" rep.R.value
         (if rep.R.exact then "  (exact)" else "")
@@ -243,7 +295,7 @@ let estimate_cmd =
       let f = if method_ = Sampling_mc then Mcsampling.monte_carlo
               else Mcsampling.horvitz_thompson in
       let est, dt =
-        Relstats.time (fun () -> f ~seed ~jobs g ~terminals:ts ~samples)
+        Relstats.time (fun () -> f ~trace ~seed ~jobs g ~terminals:ts ~samples)
       in
       Printf.printf "R = %.10g  (%d samples, %d hits)\ntime: %s\n"
         est.Mcsampling.value est.Mcsampling.samples_used est.Mcsampling.hits
@@ -270,7 +322,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
           $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_
-          $ jobs_arg $ stats_fmt)
+          $ jobs_arg $ stats_fmt $ trace_arg $ trace_format_arg $ progress_arg)
 
 (* ---- stats ---- *)
 

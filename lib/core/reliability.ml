@@ -55,14 +55,32 @@ let combine cfg ~pb ~stats subresults =
     preprocess = stats;
   }
 
-let estimate ?(obs = Obs.disabled) ?(config = S2bdd.default_config)
-    ?(extension = true) ?(jobs = 1) g ~terminals =
+(* Close the run with an "estimate" instant so traces (and the live
+   reporter) always carry the final answer, whichever path produced
+   it. *)
+let emit_report trace (rep : report) =
+  if Trace.enabled trace then
+    Trace.instant trace "estimate"
+      ~args:
+        [
+          ("value", Trace.Float rep.value);
+          ("lower", Trace.Float rep.lower);
+          ("upper", Trace.Float rep.upper);
+          ("exact", Trace.Bool rep.exact);
+          ("samples", Trace.Int rep.samples_drawn);
+        ];
+  rep
+
+let estimate ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) g
+    ~terminals =
   if jobs < 1 then invalid_arg "Reliability.estimate: jobs < 1";
   let ejobs = Par.effective_jobs jobs in
   let pool = if ejobs > 1 then Some (Par.Pool.shared ~jobs:ejobs) else None in
   if extension then begin
-    match P.run ~obs g ~terminals with
-    | P.Trivial r -> trivial_report config (Xprob.to_float_exn r)
+    match P.run ~obs ~trace g ~terminals with
+    | P.Trivial r ->
+      emit_report trace (trivial_report config (Xprob.to_float_exn r))
     | P.Reduced { pb; subproblems; stats } ->
       (* Per-subproblem seeds are drawn sequentially from the master
          seed BEFORE any subproblem runs, so the seed assignment — and
@@ -70,38 +88,54 @@ let estimate ?(obs = Obs.disabled) ?(config = S2bdd.default_config)
          The subproblems then run as pool tasks (their descents nest on
          the same pool) with results collected in subproblem order.
          Each task records into its own observer ([Obs.fresh_like]) and
-         the observers merge back in subproblem order, keeping the
-         stats deterministic under any domain schedule. *)
+         its own trace buffer ([Trace.task], lane [i mod lanes]); both
+         merge back in subproblem order, keeping the stats and the
+         trace stream deterministic under any domain schedule. *)
       let seed_rng = Prng.create config.S2bdd.seed in
       let sub_arr = Array.of_list subproblems in
       let seeds =
         Array.map (fun _ -> Int64.to_int (Prng.bits64 seed_rng)) sub_arr
       in
       let sub_obs = Array.map (fun _ -> Obs.fresh_like obs) sub_arr in
+      let lanes = Par.run_lanes ?pool () in
+      let sub_trace =
+        Array.mapi (fun i _ -> Trace.task trace ~lane:(i mod lanes)) sub_arr
+      in
       let subresults =
         Par.run ?pool (Array.length sub_arr) (fun i ->
             let sp = sub_arr.(i) in
             let sub_cfg = { config with S2bdd.seed = seeds.(i) } in
-            S2bdd.estimate ?pool ~obs:sub_obs.(i) ~config:sub_cfg sp.P.graph
-              ~terminals:sp.P.terminals)
+            Trace.span sub_trace.(i) "subproblem"
+              ~args:
+                [
+                  ("index", Trace.Int i);
+                  ("edges", Trace.Int (Ugraph.n_edges sp.P.graph));
+                ]
+            @@ fun () ->
+            S2bdd.estimate ?pool ~obs:sub_obs.(i) ~trace:sub_trace.(i)
+              ~config:sub_cfg sp.P.graph ~terminals:sp.P.terminals)
         |> Array.to_list
       in
       Array.iter (fun so -> Obs.merge ~into:obs so) sub_obs;
-      combine config ~pb:(Xprob.to_float_exn pb) ~stats:(Some stats) subresults
+      Array.iter (fun st -> Trace.merge ~into:trace st) sub_trace;
+      emit_report trace
+        (combine config ~pb:(Xprob.to_float_exn pb) ~stats:(Some stats)
+           subresults)
   end
   else begin
-    let r = S2bdd.estimate ?pool ~obs ~config g ~terminals in
-    {
-      value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
-      lower = r.S2bdd.lower;
-      upper = r.S2bdd.upper;
-      exact = r.S2bdd.exact;
-      s_given = r.S2bdd.s_given;
-      s_reduced = r.S2bdd.s_reduced;
-      samples_drawn = r.S2bdd.samples_drawn;
-      subresults = [ r ];
-      preprocess = None;
-    }
+    let r = S2bdd.estimate ?pool ~obs ~trace ~config g ~terminals in
+    emit_report trace
+      {
+        value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
+        lower = r.S2bdd.lower;
+        upper = r.S2bdd.upper;
+        exact = r.S2bdd.exact;
+        s_given = r.S2bdd.s_given;
+        s_reduced = r.S2bdd.s_reduced;
+        samples_drawn = r.S2bdd.samples_drawn;
+        subresults = [ r ];
+        preprocess = None;
+      }
   end
 
 let exact ?node_budget ?(extension = true) g ~terminals =

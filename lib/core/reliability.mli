@@ -21,6 +21,7 @@ type report = {
 
 val estimate :
   ?obs:Obs.t ->
+  ?trace:Trace.t ->
   ?config:S2bdd.config ->
   ?extension:bool ->
   ?jobs:int ->
@@ -35,6 +36,14 @@ val estimate :
     ["sampling"] (see {!S2bdd.estimate}; subproblem observers are
     merged back in subproblem order, so the stats are deterministic at
     any [jobs]). Instrumentation never changes results.
+
+    [trace] (default {!Trace.disabled}) streams the time-domain view of
+    the same run: the preprocessing stage spans, one [subproblem] span
+    per decomposed subproblem (recorded into a per-task buffer on lane
+    [index mod lanes] and merged back in subproblem order, wrapping
+    that subproblem's [layer]/[descent] events), and a final [estimate]
+    instant carrying [value]/[lower]/[upper]/[exact]/[samples] — on
+    every return path, trivial ones included.
 
     With [extension = true] (default) the graph is pruned, decomposed
     at bridges and transformed first (Section 5); each subproblem gets

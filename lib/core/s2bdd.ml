@@ -1,10 +1,6 @@
 module F = Bddbase.Fstate
 module O = Graphalgo.Ordering
 
-let log_src = Logs.Src.create "netrel.s2bdd" ~doc:"S2BDD construction"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
 type estimator =
   | Monte_carlo
   | Horvitz_thompson
@@ -174,7 +170,8 @@ let resolve_order cfg g ~terminals =
   | `Strategy s -> O.order_edges s g
   | `Explicit o -> o
 
-let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals =
+let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(config = default_config) g ~terminals =
   Ugraph.validate_terminals g terminals;
   let cfg = config in
   if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
@@ -257,7 +254,10 @@ let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals
     let rem = Array.init (Ugraph.n_vertices g) (Ugraph.degree g) in
     let pos = ref 0 in
     let t_build = Obs.now obs in
+    let t_construction = Trace.now trace in
     while !stop = Completed && !pos < m && F.Key_table.length !current > 0 do
+      let t_layer = Trace.now trace in
+      let deleted_before = !deleted_nodes in
       let e = F.edge_at ctx !pos in
       let resolved_before =
         Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
@@ -338,6 +338,18 @@ let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals
       Obs.series co "width" (float_of_int width);
       Obs.series co "pc" (Xprob.to_float_approx !pc);
       Obs.series co "pd" (Xprob.to_float_approx !pd);
+      if Trace.enabled trace then begin
+        Trace.complete trace ~ts:t_layer "layer"
+          ~args:
+            [
+              ("layer", Int !pos);
+              ("width", Int width);
+              ("pc", Float (Xprob.to_float_approx !pc));
+              ("pd", Float (Xprob.to_float_approx !pd));
+              ("deleted", Int (!deleted_nodes - deleted_before));
+            ];
+        Trace.counter trace "width" (float_of_int width)
+      end;
       if saturated && gain < cfg.min_progress *. (1. -. resolved_before) then begin
         incr stagnant;
         if !stagnant >= cfg.patience then stop := Stagnated
@@ -365,10 +377,18 @@ let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals
       end
     done;
     update_s_cur ();
-    Log.debug (fun fmt ->
-        fmt "construction %s after %d/%d layers: pc=%s pd=%s s'=%d deleted=%d"
-          (stop_reason_name !stop) !pos m (Xprob.to_string !pc)
-          (Xprob.to_string !pd) !s_cur !deleted_nodes);
+    if Trace.enabled trace then
+      Trace.complete trace ~ts:t_construction "construction"
+        ~args:
+          [
+            ("stop", Str (stop_reason_name !stop));
+            ("layers", Int !pos);
+            ("edges", Int m);
+            ("pc", Float (Xprob.to_float_approx !pc));
+            ("pd", Float (Xprob.to_float_approx !pd));
+            ("s_reduced", Int !s_cur);
+            ("deleted", Int !deleted_nodes);
+          ];
     (* Leftover live nodes (early abort): each becomes its own sampling
        stratum, exactly like a deleted node. *)
     if F.Key_table.length !current > 0 then begin
@@ -397,8 +417,11 @@ let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals
       (match cfg.estimator with Monte_carlo -> "mc" | Horvitz_thompson -> "ht");
     Obs.add so "descent_tasks" (Array.length task_arr);
     Obs.add so "samples" !samples_drawn;
+    let lanes = Par.run_lanes ?pool () in
     let contribs =
       Par.run ?pool (Array.length task_arr) (fun i ->
+          let tr = Trace.task trace ~lane:(i mod lanes) in
+          let ts = Trace.now tr in
           let t0 = Obs.now obs in
           let t = task_arr.(i) in
           let dsu = descent_scratch dsu_size in
@@ -406,12 +429,15 @@ let estimate ?pool ?(obs = Obs.disabled) ?(config = default_config) g ~terminals
             t.t_factor
             *. node_r_hat ctx cfg dsu t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n
           in
-          (c, Obs.now obs -. t0))
+          Trace.complete tr ~ts "descent"
+            ~args:[ ("task", Int i); ("n", Int t.t_n) ];
+          (c, Obs.now obs -. t0, tr))
     in
     let contribution =
       Array.fold_left
-        (fun acc (c, dt) ->
+        (fun acc (c, dt, tr) ->
           Obs.record_span so "descent" dt;
+          Trace.merge ~into:trace tr;
           acc +. c)
         0. contribs
     in

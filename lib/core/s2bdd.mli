@@ -30,10 +30,6 @@
     {e exact} reliability ([exact = true]), which plain sampling can
     never deliver. *)
 
-val log_src : Logs.src
-(** Logs source ["netrel.s2bdd"]: construction progress at debug
-    level. *)
-
 type estimator =
   | Monte_carlo
   | Horvitz_thompson
@@ -100,8 +96,8 @@ type result = {
 }
 
 val estimate :
-  ?pool:Par.Pool.t -> ?obs:Obs.t -> ?config:config -> Ugraph.t ->
-  terminals:int list -> result
+  ?pool:Par.Pool.t -> ?obs:Obs.t -> ?trace:Trace.t -> ?config:config ->
+  Ugraph.t -> terminals:int list -> result
 (** Estimate [R[G, T]] with an S2BDD over the graph as given (no
     extension technique; see {!Reliability.estimate} for the full
     Algorithm 1). Handles [k < 2] and topologically separated terminals
@@ -118,6 +114,15 @@ val estimate :
     observer must be owned by the calling thread; descent tasks only
     measure durations locally and the caller records them in task
     order.
+
+    [trace] (default {!Trace.disabled}) streams the time-domain view:
+    one [layer] span per layer (args [layer]/[width]/[pc]/[pd]/
+    [deleted]) plus a [width] counter, a [construction] span over the
+    whole loop carrying the stop reason, and one [descent] span per
+    stratified task, recorded into per-task buffers on lane
+    [task mod lanes] ({!Par.run_lanes}) and merged back in consumption
+    order — the trace stream, like the result, is jobs-independent in
+    content.
 
     When [pool] is given, the stratified DP descents of deleted and
     leftover nodes run on it: construction stays sequential (each layer

@@ -90,14 +90,32 @@ let chunk_streams ~seed n =
   let master = Prng.create seed in
   Array.init n (fun _ -> Prng.split master)
 
-let monte_carlo ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
-    ~samples =
+(* The 95% normal-approximation half-width the estimate instant
+   carries, clamped at 0 for the degenerate all-hit / no-hit cases. *)
+let ci_half variance = 1.96 *. Float.sqrt (Float.max 0. variance)
+
+let emit_estimate trace (e : estimate) =
+  if Trace.enabled trace then begin
+    let hw = ci_half e.variance_estimate in
+    Trace.instant trace "estimate"
+      ~args:
+        [
+          ("value", Float e.value);
+          ("lower", Float (Float.max 0. (e.value -. hw)));
+          ("upper", Float (Float.min 1. (e.value +. hw)));
+          ("samples", Int e.samples_used);
+        ]
+  end;
+  e
+
+let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
+    ?(jobs = 1) g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "mc";
   if List.length terminals < 2 then begin
     Obs.incr o "trivial";
-    trivial_estimate ~jobs 1.
+    emit_estimate trace (trivial_estimate ~jobs 1.)
   end
   else
     Obs.time o "total" @@ fun () ->
@@ -105,8 +123,11 @@ let monte_carlo ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
     let n = Ugraph.n_vertices g in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
+    let lanes = Par.effective_jobs jobs in
     let chunk_hits =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let tr = Trace.task trace ~lane:(i mod lanes) in
+          let ts = Trace.now tr in
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
@@ -121,14 +142,19 @@ let monte_carlo ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
                  terminals
             then incr hits
           done;
-          (!hits, Obs.now obs -. t0))
+          Trace.complete tr ~ts "mc.chunk"
+            ~args:
+              [ ("chunk", Int i); ("samples", Int len); ("hits", Int !hits) ];
+          (!hits, Obs.now obs -. t0, tr))
     in
     (* Ordered reduction: integer hits fold in chunk order (associative
-       here, but the convention keeps every reducer shape-identical). *)
+       here, but the convention keeps every reducer shape-identical);
+       per-task trace buffers fold back in the same order. *)
     let hits =
       Array.fold_left
-        (fun acc (h, dt) ->
+        (fun acc (h, dt, tr) ->
           Obs.record_span o "chunk" dt;
+          Trace.merge ~into:trace tr;
           acc + h)
         0 chunk_hits
     in
@@ -136,24 +162,25 @@ let monte_carlo ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
     Obs.add o "samples" samples;
     Obs.add o "hits" hits;
     Obs.add o "connectivity_checks" samples;
-    {
-      value;
-      samples_used = samples;
-      hits;
-      distinct = 0;
-      variance_estimate = value *. (1. -. value) /. float_of_int samples;
-      jobs_used = Par.effective_jobs jobs;
-      chunk_samples = Array.map snd chunks;
-    }
+    emit_estimate trace
+      {
+        value;
+        samples_used = samples;
+        hits;
+        distinct = 0;
+        variance_estimate = value *. (1. -. value) /. float_of_int samples;
+        jobs_used = Par.effective_jobs jobs;
+        chunk_samples = Array.map snd chunks;
+      }
 
-let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
-    ~samples =
+let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "ht";
   if List.length terminals < 2 then begin
     Obs.incr o "trivial";
-    trivial_estimate ~jobs 1.
+    emit_estimate trace (trivial_estimate ~jobs 1.)
   end
   else
     Obs.time o "total" @@ fun () ->
@@ -161,6 +188,7 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
     let n = Ugraph.n_vertices g in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
+    let lanes = Par.effective_jobs jobs in
     (* Stage 1 (parallel): each chunk dedups its own draws. A chunk's
        table records hash -> (probability, connected) for the chunk's
        distinct masks, plus the first-occurrence order so the merge
@@ -168,6 +196,8 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
        layout. Connectivity runs once per chunk-distinct mask. *)
     let chunk_tables =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
+          let tr = Trace.task trace ~lane:(i mod lanes) in
+          let ts = Trace.now tr in
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
@@ -187,7 +217,15 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
               order := h :: !order
             end
           done;
-          (seen, List.rev !order, Obs.now obs -. t0))
+          Trace.complete tr ~ts "ht.chunk"
+            ~args:
+              [
+                ("chunk", Int i);
+                ("samples", Int len);
+                ("unique", Int (Hashtbl.length seen));
+                ("drawn", Int len);
+              ];
+          (seen, List.rev !order, Obs.now obs -. t0, tr))
     in
     (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk
        order, keeping the first occurrence of every hash — exactly what
@@ -196,12 +234,14 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
        in global first-occurrence order, drive the pi-weighted sum, so
        the float accumulation order is fixed. *)
     let entries =
+      Trace.span trace "ht.merge" @@ fun () ->
       Obs.time o "merge" @@ fun () ->
       let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
       let entries = ref [] in
       Array.iter
-        (fun (tab, order, dt) ->
+        (fun (tab, order, dt, tr) ->
           Obs.record_span o "chunk" dt;
+          Trace.merge ~into:trace tr;
           List.iter
             (fun h ->
               if not (Hashtbl.mem merged h) then begin
@@ -241,12 +281,13 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(seed = 1) ?(jobs = 1) g ~terminals
     Obs.add o "distinct" distinct;
     Obs.add o "connectivity_checks" distinct;
     Obs.gauge o "dedup_ratio" (float_of_int distinct /. float_of_int samples);
-    {
-      value;
-      samples_used = samples;
-      hits;
-      distinct;
-      variance_estimate = Float.max 0. v;
-      jobs_used = Par.effective_jobs jobs;
-      chunk_samples = Array.map snd chunks;
-    }
+    emit_estimate trace
+      {
+        value;
+        samples_used = samples;
+        hits;
+        distinct;
+        variance_estimate = Float.max 0. v;
+        jobs_used = Par.effective_jobs jobs;
+        chunk_samples = Array.map snd chunks;
+      }

@@ -24,8 +24,15 @@
     prefix: counters [samples], [hits], [connectivity_checks] (and, for
     HT, [distinct] plus a [dedup_ratio] gauge), per-chunk spans on the
     [chunk] timer, a [total] timer, and for HT a [merge] timer around
-    the ordered table merge. Timings are measured but results are
-    unchanged: instrumentation never touches the sampling streams. *)
+    the ordered table merge. They also accept a {!Trace.t} and stream
+    one [mc.chunk] / [ht.chunk] span per chunk (recorded into a
+    per-task buffer on lane [chunk mod jobs] and merged back in chunk
+    order, per the {!Trace} lane contract; HT chunks carry
+    [unique]/[drawn] dedup args), an [ht.merge] span around the ordered
+    table merge, and a final [estimate] instant with
+    [value]/[lower]/[upper]/[samples] args (95% normal CI). Timings are
+    measured but results are unchanged: instrumentation never touches
+    the sampling streams. *)
 
 type estimate = {
   value : float;          (** estimated network reliability *)
@@ -62,8 +69,8 @@ val ht_weight : logq:float -> n:int -> float
     S2BDD descent estimator. *)
 
 val monte_carlo :
-  ?obs:Obs.t -> ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list ->
-  samples:int -> estimate
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int -> Ugraph.t ->
+  terminals:int list -> samples:int -> estimate
 (** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)]. [jobs]
     (default 1) sets the domain count; see the determinism contract
     above. MC draws with replacement and never deduplicates, so
@@ -71,8 +78,8 @@ val monte_carlo :
     terminals, [samples <= 0], or [jobs <= 0]. *)
 
 val horvitz_thompson :
-  ?obs:Obs.t -> ?seed:int -> ?jobs:int -> Ugraph.t -> terminals:int list ->
-  samples:int -> estimate
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int -> Ugraph.t ->
+  terminals:int list -> samples:int -> estimate
 (** Horvitz–Thompson over the distinct sampled possible graphs:
     [R^ = sum_i I * Pr[Gp_i] / pi_i] with
     [pi_i = 1 - (1 - Pr[Gp_i])^s].

@@ -281,12 +281,11 @@ let fake_clock_requested () =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
+let default_clock () =
+  if fake_clock_requested () then zero_clock else Unix.gettimeofday
+
 let create ?clock () =
-  let clock =
-    match clock with
-    | Some c -> c
-    | None -> if fake_clock_requested () then zero_clock else Unix.gettimeofday
-  in
+  let clock = match clock with Some c -> c | None -> default_clock () in
   { on = true; prefix = ""; cells = Hashtbl.create 64; clock }
 
 let enabled t = t.on

@@ -61,8 +61,13 @@ val disabled : t
 (** The no-op observer: every recording call returns immediately. *)
 
 val create : ?clock:(unit -> float) -> unit -> t
-(** A live observer.  [clock] defaults to [Unix.gettimeofday], or to a
-    constant [0.] when [NETREL_FAKE_CLOCK] is set (see above). *)
+(** A live observer.  [clock] defaults to {!default_clock}[ ()]. *)
+
+val default_clock : unit -> unit -> float
+(** The clock {!create} uses when none is given: [Unix.gettimeofday],
+    or the constant [0.] clock when [NETREL_FAKE_CLOCK] is set (see
+    above).  Shared with {!Trace} so every subsystem honours the same
+    pin. *)
 
 val enabled : t -> bool
 

@@ -29,10 +29,19 @@ let task_counter = Atomic.make 0
 
 type counters = { batches : int; tasks : int }
 
+(* Optional dispatch probe (lib/trace installs one): called with the
+   batch size on the submitting agent at every entry into a Par
+   mapping, before any task runs. The callee must be thread-safe —
+   nested batches are submitted from worker domains. *)
+let batch_hook : (int -> unit) option ref = ref None
+
+let set_batch_hook h = batch_hook := h
+
 let count_batch n =
   if n > 0 then begin
     Atomic.incr batch_counter;
-    ignore (Atomic.fetch_and_add task_counter n)
+    ignore (Atomic.fetch_and_add task_counter n);
+    match !batch_hook with None -> () | Some f -> f n
   end
 
 let counters () =
@@ -211,6 +220,12 @@ module Pool = struct
     Mutex.unlock shared_mutex;
     t
 end
+
+let run_lanes ?pool () =
+  match pool with
+  | Some t -> Pool.jobs t
+  | None -> (
+    match forced_domains () with Some j when j > 1 -> j | _ -> 1)
 
 let run ?pool n f =
   match pool with

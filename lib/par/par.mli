@@ -52,6 +52,15 @@ val counters : unit -> counters
     they account for; the counters are informational and never affect
     results. *)
 
+val set_batch_hook : (int -> unit) option -> unit
+(** Installs (or clears) a process-wide dispatch probe, called with the
+    batch size at every entry into a Par mapping — {!run}, {!run_jobs}
+    or {!Pool.map}, including their sequential fast paths — on the
+    submitting agent, before any task of the batch runs.  Nested
+    batches are submitted from worker domains, so the hook must be
+    thread-safe.  Used by [Trace.install_par_hook] to stream task-
+    dispatch events; purely observational, never affects results. *)
+
 val chunks : total:int -> target:int -> (int * int) array
 (** [chunks ~total ~target] splits [total] work items into
     [ceil (total / target)] contiguous chunks returned as
@@ -101,6 +110,14 @@ module Pool : sig
       spawn costs are paid once per process, not once per call.
       @raise Invalid_argument as {!create}. *)
 end
+
+val run_lanes : ?pool:Pool.t -> unit -> int
+(** The number of domain lanes a {!run} with the same [?pool] argument
+    occupies: the pool's size when given, the forced-domain count when
+    [NETREL_FORCE_DOMAINS] redirects the sequential fallback, and [1]
+    otherwise.  Call sites that assign per-task trace lanes use this as
+    the modulus, so lane assignment matches the domain budget actually
+    in effect. *)
 
 val run : ?pool:Pool.t -> int -> (int -> 'a) -> 'a array
 (** [run ?pool n f]: {!Pool.map} on [pool] when given, otherwise a

@@ -87,11 +87,19 @@ let observe_stats o st =
   Obs.add o "transform_rounds" st.transform_rounds;
   Obs.gauge o "reduction_ratio" (reduction_ratio st)
 
-let run ?(obs = Obs.disabled) g ~terminals =
+let run ?(obs = Obs.disabled) ?(trace = Trace.disabled) g ~terminals =
   Ugraph.validate_terminals g terminals;
   let o = Obs.sub obs "preprocess" in
+  let t_pre = Trace.now trace in
+  (* Every return path closes the covering "preprocess" span, so traces
+     carry the outcome even when the pipeline resolves trivially. *)
+  let finish outcome extra =
+    Trace.complete trace ~ts:t_pre "preprocess"
+      ~args:(("outcome", Trace.Str outcome) :: extra)
+  in
   let trivial label x =
     Obs.text o "outcome" label;
+    finish label [];
     Trivial x
   in
   if List.length terminals < 2 then trivial "trivial_one" Xprob.one
@@ -100,6 +108,7 @@ let run ?(obs = Obs.disabled) g ~terminals =
   else begin
     (* Prune: restrict to the Steiner subtree of the block tree. *)
     let pruned_opt =
+      Trace.span trace "prune" @@ fun () ->
       Obs.time o "prune" @@ fun () ->
       let bt = BT.build g ~terminals in
       if BT.terminals_separated bt then None
@@ -121,11 +130,13 @@ let run ?(obs = Obs.disabled) g ~terminals =
     | Some (pruned, terminals') ->
       (* Decompose at the surviving bridges. *)
       let pb, n_bridges, raw_subs =
+        Trace.span trace "decompose" @@ fun () ->
         Obs.time o "decompose" @@ fun () -> decompose pruned terminals'
       in
       (* Transform each subproblem. *)
       let rounds = ref 0 in
       let subproblems =
+        Trace.span trace "transform" @@ fun () ->
         Obs.time o "transform" @@ fun () ->
         List.filter_map
           (fun sp ->
@@ -172,6 +183,12 @@ let run ?(obs = Obs.disabled) g ~terminals =
         in
         Obs.text o "outcome" "reduced";
         observe_stats o stats;
+        finish "reduced"
+          [
+            ("subproblems", Trace.Int stats.n_subproblems);
+            ("bridges", Trace.Int stats.n_bridges);
+            ("final_edges", Trace.Int stats.final_edges);
+          ];
         Reduced { pb; subproblems; stats }
       end
   end

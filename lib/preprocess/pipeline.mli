@@ -36,11 +36,16 @@ type outcome =
       stats : stats;
     }
 
-val run : ?obs:Obs.t -> Ugraph.t -> terminals:int list -> outcome
+val run : ?obs:Obs.t -> ?trace:Trace.t -> Ugraph.t -> terminals:int list -> outcome
 (** [obs] (default {!Obs.disabled}) records the per-phase account under
     the ["preprocess"] prefix: [prune]/[decompose]/[transform] timers,
     the {!stats} fields as counters, a [reduction_ratio] gauge and an
     [outcome] text ([trivial_one], [trivial_zero] or [reduced]).
+
+    [trace] (default {!Trace.disabled}) streams one span per stage
+    ([prune]/[decompose]/[transform]) nested inside a covering
+    [preprocess] span that carries the outcome in its args — closed on
+    every return path, including the trivial ones.
 
     @raise Invalid_argument on an invalid terminal set (empty terminal
     sets are invalid; use the graph itself for k = 0 semantics). *)

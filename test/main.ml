@@ -19,4 +19,5 @@ let () =
       Test_integration.suite;
       Test_par.suite;
       Test_obs.suite;
+      Test_trace.suite;
     ]

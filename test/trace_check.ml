@@ -1,0 +1,65 @@
+(* Validates a Chrome trace-event file emitted by `netrel estimate
+   --trace` (run from the dune rule at --jobs 2): the file must parse
+   with Obs.Json.of_string_exn, pass Trace.validate_chrome, carry the
+   schema stamp, contain at least one span per domain lane 0..lanes-1,
+   and include S2BDD layer spans with width/pc/pd args. Usage:
+
+     trace_check FILE LANES *)
+
+module J = Obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let () =
+  let path, lanes =
+    match Sys.argv with
+    | [| _; path; lanes |] -> (path, int_of_string lanes)
+    | _ -> fail "usage: trace_check FILE LANES"
+  in
+  let doc =
+    try J.of_string_exn (read_file path)
+    with e -> fail "%s does not parse: %s" path (Printexc.to_string e)
+  in
+  (match Trace.validate_chrome doc with
+  | Ok () -> ()
+  | Error e -> fail "%s: schema: %s" path e);
+  (match J.member "otherData" doc with
+  | Some od when J.member "schema" od = Some (J.Int Trace.schema_version) -> ()
+  | _ -> fail "%s: missing/wrong otherData.schema" path);
+  let events =
+    match J.member "traceEvents" doc with
+    | Some (J.List evs) -> evs
+    | _ -> fail "%s: missing traceEvents" path
+  in
+  let ph e = match J.member "ph" e with Some (J.Str s) -> s | _ -> "" in
+  let tid e = match J.member "tid" e with Some (J.Int i) -> i | _ -> -1 in
+  (* One span ("X") per domain lane: the descent / chunk tasks are
+     assigned round-robin over lanes 0..lanes-1, so every lane below
+     the domain budget must have recorded work. *)
+  for lane = 0 to lanes - 1 do
+    if
+      not
+        (List.exists (fun e -> ph e = "X" && tid e = lane) events)
+    then fail "%s: no span on lane %d (want %d lanes)" path lane lanes
+  done;
+  (match
+     List.find_opt
+       (fun e ->
+         ph e = "X" && J.member "name" e = Some (J.Str "layer"))
+       events
+   with
+  | None -> fail "%s: no layer spans" path
+  | Some e -> (
+    match J.member "args" e with
+    | Some args
+      when J.member "width" args <> None
+           && J.member "pc" args <> None
+           && J.member "pd" args <> None -> ()
+    | _ -> fail "%s: layer span lacks width/pc/pd args" path));
+  Printf.printf "trace_check: %s ok (%d events, %d lanes)\n" path
+    (List.length events) lanes
