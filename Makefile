@@ -1,10 +1,16 @@
-.PHONY: build test bench bench-quick bench-smoke clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke clean
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Full differential self-validation (lib/check): every estimator vs the
+# exact oracle, metamorphic identities, CI calibration. ~5s. A budgeted
+# 5-trial run also rides along under `dune runtest`.
+selfcheck:
+	dune exec bin/netrel_cli.exe -- selfcheck --trials 50 --seed 1
 
 bench:
 	dune exec bench/main.exe

@@ -482,6 +482,52 @@ let search_cmd =
     Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg $ sources
           $ eta $ samples)
 
+(* ---- selfcheck ---- *)
+
+let selfcheck_cmd =
+  let trials =
+    let doc = "Number of random corpus cases on top of the fixed adversarial \
+               and generator shapes. Also scales the calibration replicate \
+               count." in
+    Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc = "Emit the machine-readable selfcheck report (one JSON document \
+               on stdout: run metadata, per-section tallies, violations with \
+               reproducer artifacts, overall result) instead of the \
+               human-readable summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run trials seed json trace_file trace_format = guarded @@ fun () ->
+    if trials < 0 then or_die (Error "--trials must be >= 0");
+    let trace = if trace_file = None then Trace.disabled else Trace.create () in
+    if Trace.enabled trace then Trace.install_par_hook trace;
+    let finalize () =
+      match trace_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            match trace_format with
+            | `Chrome -> Trace.write_chrome oc trace
+            | `Jsonl -> Trace.write_jsonl oc trace)
+    in
+    let rep =
+      Fun.protect ~finally:finalize @@ fun () ->
+      Check.run ~trace ~trials ~seed ()
+    in
+    if json then
+      print_endline (Obs.Json.to_string ~pretty:true (Check.report_json rep))
+    else Format.printf "%a" Check.pp_report rep;
+    if not (Check.ok rep) then exit 1
+  in
+  let doc = "Differential self-validation: every estimator against the exact \
+             oracle, metamorphic identities and CI calibration" in
+  Cmd.v (Cmd.info "selfcheck" ~doc)
+    Term.(const run $ trials $ seed_arg $ json $ trace_arg $ trace_format_arg)
+
 (* ---- reach ---- *)
 
 let reach_cmd =
@@ -535,4 +581,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; bounds_cmd;
-            search_cmd; reach_cmd ]))
+            search_cmd; reach_cmd; selfcheck_cmd ]))

@@ -1,0 +1,128 @@
+type case = {
+  label : string;
+  graph : Ugraph.t;
+  terminals : int list;
+}
+
+let render c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "case %s\n" c.label);
+  Ugraph.to_buffer buf c.graph;
+  Buffer.add_string buf
+    (Printf.sprintf "terminals %s\n"
+       (String.concat "," (List.map string_of_int c.terminals)));
+  Buffer.contents buf
+
+(* Edge probabilities are drawn from a mixture of regimes: the
+   mid-range draws exercise the samplers, the near-0 / near-1 tails
+   exercise the Xprob accumulation and the HT log-weight path, and the
+   exact 1/2 class gives masks of equal probability (the HT dedup's
+   worst case for the correction term). *)
+let rand_prob rng =
+  match Prng.int rng 5 with
+  | 0 -> Prng.float rng
+  | 1 -> 0.02 *. Prng.float rng
+  | 2 -> 1. -. (0.02 *. Prng.float rng)
+  | 3 -> 0.5
+  | _ -> 0.1 +. (0.8 *. Prng.float rng)
+
+let graph ~n es rng =
+  Ugraph.create ~n
+    (List.map (fun (u, v) -> { Ugraph.u; v; p = rand_prob rng }) es)
+
+let adversarial rng =
+  let mk label ~n es terminals = { label; graph = graph ~n es rng; terminals } in
+  [
+    (* A chain of non-terminals whose contraction walk returns to its
+       anchor (the transform's ear, a = b): becomes a self-loop next
+       round. *)
+    mk "adv:ear" ~n:4 [ (0, 3); (0, 1); (1, 2); (2, 0) ] [ 0; 3 ];
+    (* A degree-2 non-terminal attached by two parallel edges: the
+       walk's dead-edge stub branch. *)
+    mk "adv:parallel-stub" ~n:4 [ (0, 1); (1, 2); (1, 3); (1, 3) ] [ 0; 2 ];
+    (* Two triangles joined by a bridge: Lemma 5.1 decomposition. *)
+    mk "adv:bridge" ~n:6
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ]
+      [ 0; 4 ];
+    (* A cycle of non-terminals disconnected from the terminal path:
+       the transform's floating-cycle deletion. *)
+    mk "adv:floating-cycle" ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5); (5, 3) ]
+      [ 0; 2 ];
+    (* A pure series chain through interior non-terminals. *)
+    mk "adv:series-chain" ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]
+      [ 0; 5 ];
+    (* Three parallel edges between the terminals. *)
+    mk "adv:parallel-bundle" ~n:2 [ (0, 1); (0, 1); (0, 1) ] [ 0; 1 ];
+    (* Self-loops on every vertex of a triangle: pure no-ops for R. *)
+    mk "adv:self-loops" ~n:3
+      [ (0, 1); (1, 2); (2, 0); (0, 0); (1, 1); (2, 2) ]
+      [ 0; 2 ];
+    (* Theta: three internally disjoint length-2 paths — series
+       contraction creates a parallel bundle mid-fixpoint. *)
+    mk "adv:theta" ~n:5 [ (0, 2); (2, 1); (0, 3); (3, 1); (0, 4); (4, 1) ]
+      [ 0; 1 ];
+    (* A star with a non-terminal centre and terminal leaves. *)
+    mk "adv:star" ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] [ 1; 3; 4 ];
+    (* Two bridges in series between three 2-edge-connected blobs. *)
+    mk "adv:double-bridge" ~n:8
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3); (5, 6);
+        (6, 7); (7, 6) ]
+      [ 0; 7 ];
+    (* Terminals in separate components: R must be exactly 0. *)
+    mk "adv:split" ~n:4 [ (0, 1); (2, 3) ] [ 0; 3 ];
+  ]
+
+let with_uniform_probs rng g =
+  Ugraph.map_probs (fun _ _ -> rand_prob rng) g
+
+let generator_cases rng =
+  let seed () = Int64.to_int (Prng.bits64 rng) land 0x3FFFFFF in
+  let terminals g k =
+    Workload.Generators.random_terminals ~seed:(seed ())
+      g
+      ~k:(min k (Ugraph.n_vertices g))
+  in
+  let grid, _ = Workload.Generators.grid_road ~seed:(seed ()) ~rows:2 ~cols:3 ~keep:0.5 in
+  let grid = with_uniform_probs rng grid in
+  let pl =
+    with_uniform_probs rng
+      (Workload.Generators.power_law ~seed:(seed ()) ~n:8 ~target_edges:10
+         ~exponent:2.0)
+  in
+  let aff =
+    with_uniform_probs rng
+      (Workload.Generators.bipartite_affiliation ~seed:(seed ()) ~people:5
+         ~groups:3 ~memberships:8)
+  in
+  let pa, alphas =
+    Workload.Generators.preferential_attachment ~seed:(seed ()) ~n:7
+      ~edges_per_vertex:1
+  in
+  let pa = Workload.Probability.coauthor ~alphas pa in
+  [
+    { label = "gen:grid-road"; graph = grid; terminals = terminals grid 2 };
+    { label = "gen:power-law"; graph = pl; terminals = terminals pl 3 };
+    { label = "gen:affiliation"; graph = aff; terminals = terminals aff 2 };
+    { label = "gen:pref-attach"; graph = pa; terminals = terminals pa 2 };
+  ]
+
+let random_case rng ~index =
+  let n = 2 + Prng.int rng 7 in
+  let m = 1 + Prng.int rng 14 in
+  let edges =
+    List.init m (fun _ ->
+        { Ugraph.u = Prng.int rng n; v = Prng.int rng n; p = rand_prob rng })
+  in
+  let k = min n (2 + Prng.int rng 3) in
+  let perm = Array.init n Fun.id in
+  Prng.shuffle rng perm;
+  {
+    label = Printf.sprintf "rand:%d(n=%d,m=%d)" index n m;
+    graph = Ugraph.create ~n edges;
+    terminals = Array.to_list (Array.sub perm 0 k);
+  }
+
+let corpus ~seed ~trials =
+  let rng = Prng.create seed in
+  adversarial rng @ generator_cases rng
+  @ List.init (max 0 trials) (fun i -> random_case rng ~index:i)

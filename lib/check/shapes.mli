@@ -1,0 +1,48 @@
+(** The self-check graph corpus: small uncertain graphs for which the
+    exact oracle ({!Bddbase.Exact}) is cheap, mixing uniformly random
+    topologies with the adversarial shapes the preprocessing
+    transformations ({!Preprocess.Transform}) and the S2BDD deletion
+    machinery are known to find hard — ears whose walk returns to its
+    anchor, parallel stubs, bridges, floating cycles of non-terminals,
+    self-loops and parallel bundles — plus scaled-down instances of the
+    {!Workload.Generators} topology classes.
+
+    Everything is deterministic in the generator passed in: the corpus
+    for a seed is the corpus forever, so any violation found against it
+    is a reproducible artifact. *)
+
+type case = {
+  label : string;       (** stable human-readable case id *)
+  graph : Ugraph.t;
+  terminals : int list;
+}
+
+val render : case -> string
+(** The reproducer artifact for a violation report: the case label, the
+    graph in {!Ugraph} edge-list text format and the terminal list —
+    enough to replay the case by hand. *)
+
+val rand_prob : Prng.t -> float
+(** One edge probability from the corpus's mixture of regimes: uniform,
+    near-0, near-1, exactly 1/2 and mid-range draws. *)
+
+val adversarial : Prng.t -> case list
+(** The fixed adversarial topologies (ear, parallel stub, floating
+    cycle, bridged blobs, theta, series chain, parallel bundle,
+    self-loops, star, double bridge), with probabilities drawn from
+    [rand_prob]. *)
+
+val generator_cases : Prng.t -> case list
+(** Small instances of the {!Workload.Generators} topology classes
+    (grid road, power law, affiliation, preferential attachment) with
+    uniform probabilities. *)
+
+val random_case : Prng.t -> index:int -> case
+(** One random graph: 2–8 vertices, up to 14 edges with endpoints drawn
+    uniformly (so self-loops and parallel edges occur), probabilities
+    from [rand_prob], 2–4 random distinct terminals. Disconnected
+    graphs and unreachable terminal sets are deliberately possible. *)
+
+val corpus : seed:int -> trials:int -> case list
+(** [adversarial @ generator_cases @ trials random cases], everything
+    derived from [seed]. *)

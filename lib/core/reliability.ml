@@ -12,8 +12,16 @@ type report = {
   preprocess : P.stats option;
 }
 
-let clamp lo hi x = Float.max lo (Float.min hi x)
+(* [clamp] used to live here to repair out-of-bounds subresult values;
+   S2bdd now clamps at the source, so the report takes them as-is. *)
 
+(* Report-level convention: [s_reduced = 0] means "no sampling needed".
+   The trivial paths state it directly; [combine] and the
+   no-extension path below derive it — an exact run never consumed its
+   residual budget, so reporting the unused Theorem-1 [s'] there would
+   make a trivially-resolved run and a construction-resolved exact run
+   read differently for the same situation. The per-subproblem [s']
+   values stay available unaltered in [subresults]. *)
 let trivial_report cfg value =
   {
     value;
@@ -31,7 +39,10 @@ let combine cfg ~pb ~stats subresults =
   let value, lower, upper, exact =
     List.fold_left
       (fun (v, lo, hi, ex) (r : S2bdd.result) ->
-        ( v *. clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value,
+        (* [r.value] is clamped into [[r.lower, r.upper]] at the source
+           (S2bdd), so the products nest: value stays within the
+           combined bounds. *)
+        ( v *. r.S2bdd.value,
           lo *. r.S2bdd.lower,
           hi *. r.S2bdd.upper,
           ex && r.S2bdd.exact ))
@@ -44,9 +55,13 @@ let combine cfg ~pb ~stats subresults =
     exact;
     s_given = cfg.S2bdd.samples;
     (* The binding residual budget: subproblems are independent, each
-       with its own Theorem-1 budget, so the largest one dominates. *)
+       with its own Theorem-1 budget, so the largest one dominates —
+       unless the whole run resolved exactly, where no sampling was
+       needed at all. *)
     s_reduced =
-      List.fold_left (fun acc (r : S2bdd.result) -> max acc r.S2bdd.s_reduced) 0 subresults;
+      if exact then 0
+      else
+        List.fold_left (fun acc (r : S2bdd.result) -> max acc r.S2bdd.s_reduced) 0 subresults;
     samples_drawn =
       List.fold_left
         (fun acc (r : S2bdd.result) -> acc + r.S2bdd.samples_drawn)
@@ -126,12 +141,12 @@ let estimate ?(obs = Obs.disabled) ?(trace = Trace.disabled)
     let r = S2bdd.estimate ?pool ~obs ~trace ~config g ~terminals in
     emit_report trace
       {
-        value = clamp r.S2bdd.lower r.S2bdd.upper r.S2bdd.value;
+        value = r.S2bdd.value;
         lower = r.S2bdd.lower;
         upper = r.S2bdd.upper;
         exact = r.S2bdd.exact;
         s_given = r.S2bdd.s_given;
-        s_reduced = r.S2bdd.s_reduced;
+        s_reduced = (if r.S2bdd.exact then 0 else r.S2bdd.s_reduced);
         samples_drawn = r.S2bdd.samples_drawn;
         subresults = [ r ];
         preprocess = None;

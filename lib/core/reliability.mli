@@ -5,13 +5,21 @@
     This is the primary public entry point of the library. *)
 
 type report = {
-  value : float;       (** estimated (or exact) [R[G, T]], clamped into
-                           [[lower, upper]] *)
+  value : float;       (** estimated (or exact) [R[G, T]], within
+                           [[lower, upper]] (each subresult is clamped
+                           at the source, {!S2bdd.result}[.value]) *)
   lower : float;       (** proven lower bound (product form) *)
   upper : float;       (** proven upper bound *)
   exact : bool;        (** every subproblem resolved exactly *)
   s_given : int;
-  s_reduced : int;     (** largest final Theorem-1 budget over subproblems *)
+  s_reduced : int;
+      (** largest final Theorem-1 budget over subproblems; [0] means
+          {e no sampling was needed} — the run resolved exactly
+          (trivially in preprocessing or by complete construction).
+          Uniform across every path: trivial reports, combined
+          subproblem reports and the no-extension path all follow it.
+          The unused per-subproblem [s'] of an exact run stays
+          available in [subresults]. *)
   samples_drawn : int;
   subresults : S2bdd.result list;
   preprocess : Preprocess.Pipeline.stats option;

@@ -442,9 +442,32 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         0. contribs
     in
     let lower = Xprob.to_float_approx !pc in
-    let upper = 1. -. Xprob.to_float_approx !pd in
+    (* [pc] and [pd] are each correct to an ulp, but the float rounding
+       of [1 - pd] is independent of [pc]'s, so on a fully resolved run
+       (pc + pd = 1) the two float bounds can cross by an ulp. Keep the
+       interval well-formed: [lower <= upper] is part of the result's
+       contract. *)
+    let upper = Float.max lower (1. -. Xprob.to_float_approx !pd) in
     let exact = !deleted_nodes = 0 && !stop = Completed in
-    let value = if exact then lower else lower +. contribution in
+    (* The stratified contribution is an unbiased estimate of the mass
+       between the proven bounds, but a realisation can overshoot them
+       (even past 1) under sampling noise. Clamp at the source so every
+       caller — Reliability, bench sections, report.subresults — sees a
+       value inside [lower, upper]; the raw contribution stays readable
+       through Obs. *)
+    let raw = lower +. contribution in
+    let value =
+      if exact then lower
+      else begin
+        Obs.gauge so "contribution" contribution;
+        if raw < lower || raw > upper then begin
+          Obs.incr so "value_clamped";
+          Obs.gauge so "raw_value" raw;
+          Float.max lower (Float.min upper raw)
+        end
+        else raw
+      end
+    in
     {
       value;
       lower;

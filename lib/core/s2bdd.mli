@@ -75,14 +75,25 @@ type stop_reason =
 val stop_reason_name : stop_reason -> string
 
 type result = {
-  value : float;        (** estimated (or exact) reliability *)
+  value : float;
+      (** estimated (or exact) reliability, always clamped into
+          [[lower, upper]] — the raw (possibly overshooting) stratified
+          contribution is recorded under the [sampling.contribution] /
+          [sampling.raw_value] Obs gauges, with [sampling.value_clamped]
+          counting the runs where the clamp actually bound *)
   lower : float;        (** [pc]: proven lower bound *)
-  upper : float;        (** [1 - pd]: proven upper bound *)
+  upper : float;
+      (** [1 - pd]: proven upper bound; rounded up to [lower] when the
+          two independently rounded floats would cross by an ulp (fully
+          resolved runs), so [lower <= upper] always holds *)
   pc : Xprob.t;
   pd : Xprob.t;
   exact : bool;         (** no mass was left to sampling *)
   s_given : int;
-  s_reduced : int;      (** final Theorem-1 budget [s'] *)
+  s_reduced : int;
+      (** final Theorem-1 budget [s'] at the achieved bounds — reported
+          even when [exact] (where it went unused; see
+          {!Reliability.report} whose [s_reduced] is [0] in that case) *)
   samples_drawn : int;  (** descents actually performed *)
   sampled_nodes : int;  (** deleted/leftover nodes that received samples *)
   deleted_nodes : int;

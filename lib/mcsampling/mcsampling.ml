@@ -275,6 +275,15 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         0. entries
     in
     let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
+    (* The plug-in can go negative (the correction is only an estimate
+       of the covariance term); the clamp below keeps the reported
+       variance usable, but the event itself is worth knowing about —
+       a clamped variance means the 95% CI the estimate carries has
+       degenerated to a point. *)
+    if v < 0. then begin
+      Obs.incr o "variance_clamped";
+      Obs.gauge o "raw_variance" v
+    end;
     let distinct = List.length entries in
     Obs.add o "samples" samples;
     Obs.add o "hits" hits;

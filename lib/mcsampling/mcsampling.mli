@@ -44,7 +44,11 @@ type estimate = {
       (** distinct possible graphs among the samples. {b HT only}: MC
           never deduplicates and reports [0] here rather than guess *)
   variance_estimate : float;
-      (** plug-in variance: Equation (2) for MC, Equation (8) for HT *)
+      (** plug-in variance: Equation (2) for MC, Equation (8) for HT.
+          The HT plug-in can come out negative (its correction term is
+          itself an estimate); it is clamped to [0.] here, and each
+          clamping is counted under the [sampling.variance_clamped]
+          Obs counter (raw value in the [sampling.raw_variance] gauge) *)
   jobs_used : int;
       (** domains the sampler was allowed to use (after the
           [NETREL_FORCE_DOMAINS] override); does not affect results *)

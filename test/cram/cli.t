@@ -24,7 +24,7 @@ The CLI's deterministic surfaces: stats, gen, preprocess, estimate
   terminals: [0, 50, 100]
   R = 0.0460878085  (exact)
   bounds = [0.0460878085, 0.0460878085]
-  budget: s = 10000 -> s' = 9137, 0 descents drawn
+  budget: s = 10000 -> s' = 0, 0 descents drawn
   $ netrel bounds --dataset am-rv --terminals 0,50,100 --threshold 0.5 | grep -v time
   graph Am-Rv: |V|=141 |E|=160 avg_deg=2.27 avg_prob=0.525
   proven bounds: [0.0460878085, 0.0460878085]  (exact)

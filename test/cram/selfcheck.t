@@ -1,0 +1,66 @@
+The self-check driver: a small fixed-seed budget must come back clean,
+and the --json report schema is pinned byte-for-byte (the document
+carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
+
+  $ export NETREL_FAKE_CLOCK=1
+
+  $ netrel selfcheck --trials 3 --seed 1
+  selfcheck: seed=1 trials=3 jobs=1,2,8
+    oracle       cases=18   checks=792   violations=0   skipped=0
+    metamorphic  cases=27   checks=117   violations=0   skipped=0
+    calibration  cases=4    checks=4     violations=0   skipped=0
+  result: OK (49 cases, 913 checks, 0 violations)
+
+  $ netrel selfcheck --trials 3 --seed 1 --json
+  {
+    "netrel": {
+      "emitter": "netrel",
+      "schema": 1,
+      "tool": "selfcheck"
+    },
+    "run": {
+      "seed": 1,
+      "trials": 3,
+      "jobs": [
+        1,
+        2,
+        8
+      ]
+    },
+    "sections": [
+      {
+        "name": "oracle",
+        "cases": 18,
+        "checks": 792,
+        "violations": 0,
+        "skipped": 0
+      },
+      {
+        "name": "metamorphic",
+        "cases": 27,
+        "checks": 117,
+        "violations": 0,
+        "skipped": 0
+      },
+      {
+        "name": "calibration",
+        "cases": 4,
+        "checks": 4,
+        "violations": 0,
+        "skipped": 0
+      }
+    ],
+    "violations": [],
+    "result": {
+      "cases": 49,
+      "checks": 913,
+      "violations": 0,
+      "ok": true
+    }
+  }
+
+Two runs at the same seed are byte-identical:
+
+  $ netrel selfcheck --trials 3 --seed 7 --json > a.json
+  $ netrel selfcheck --trials 3 --seed 7 --json > b.json
+  $ cmp a.json b.json

@@ -20,4 +20,5 @@ let () =
       Test_par.suite;
       Test_obs.suite;
       Test_trace.suite;
+      Test_check.suite;
     ]

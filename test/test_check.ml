@@ -1,0 +1,117 @@
+(* The self-check subsystem checked: corpus determinism, a clean run at
+   a small budget, report determinism and the JSON report document. *)
+
+module C = Check
+module J = Obs.Json
+
+let small_run =
+  (* One shared run: the suite asserts different facets of the same
+     report. jobs [1; 2] keeps the budget small; the full 1/2/8 sweep
+     belongs to `netrel selfcheck` and its runtest rule. *)
+  lazy (C.run ~jobs:[ 1; 2 ] ~trials:3 ~seed:11 ())
+
+let t_corpus_deterministic () =
+  let labels trials seed =
+    List.map (fun (c : C.Shapes.case) -> c.C.Shapes.label)
+      (C.Shapes.corpus ~seed ~trials)
+  in
+  Alcotest.(check (list string)) "same seed, same corpus" (labels 6 3) (labels 6 3);
+  Alcotest.(check bool) "adversarial shapes present" true
+    (List.mem "adv:ear" (labels 0 3) && List.mem "adv:split" (labels 0 3));
+  Alcotest.(check int) "trials add random cases"
+    (List.length (labels 0 3) + 4)
+    (List.length (labels 4 3))
+
+let t_corpus_case_renders () =
+  List.iter
+    (fun (c : C.Shapes.case) ->
+      let art = C.Shapes.render c in
+      Alcotest.(check bool) (c.C.Shapes.label ^ " renders label") true
+        (String.length art > 0
+        && String.sub art 0 5 = "case "
+        && List.exists
+             (fun line ->
+               String.length line >= 9 && String.sub line 0 9 = "terminals")
+             (String.split_on_char '\n' art)))
+    (C.Shapes.corpus ~seed:2 ~trials:2)
+
+let t_run_clean_at_small_budget () =
+  let rep = Lazy.force small_run in
+  Alcotest.(check bool) "ok" true (C.ok rep);
+  Alcotest.(check (list string)) "three sections"
+    [ "oracle"; "metamorphic"; "calibration" ]
+    (List.map (fun s -> s.C.s_name) rep.C.sections);
+  Alcotest.(check bool) "checks counted" true (rep.C.checks > 0);
+  Alcotest.(check bool) "cases counted" true (rep.C.cases > 0);
+  Alcotest.(check int) "no violations" 0 (List.length rep.C.violations);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.C.s_name ^ " ran cases") true (s.C.s_cases > 0);
+      Alcotest.(check bool) (s.C.s_name ^ " ran checks") true (s.C.s_checks > 0))
+    rep.C.sections
+
+let t_run_deterministic () =
+  let a = Lazy.force small_run in
+  let b = C.run ~jobs:[ 1; 2 ] ~trials:3 ~seed:11 () in
+  Alcotest.(check bool) "same seed, same report" true (a = b)
+
+let t_run_obs_never_changes_report () =
+  let obs = Obs.create () in
+  let with_obs = C.run ~obs ~jobs:[ 1 ] ~trials:1 ~seed:4 () in
+  let without = C.run ~jobs:[ 1 ] ~trials:1 ~seed:4 () in
+  Alcotest.(check bool) "obs is observation only" true (with_obs = without);
+  Alcotest.(check bool) "per-section counters recorded" true
+    (Obs.counter_value obs "selfcheck.oracle.checks" > 0
+    && Obs.counter_value obs "selfcheck.metamorphic.checks" > 0
+    && Obs.counter_value obs "selfcheck.calibration.checks" > 0)
+
+let t_report_json_schema () =
+  let rep = Lazy.force small_run in
+  let doc = C.report_json rep in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("has " ^ key) true
+        (Option.is_some (J.member key doc)))
+    [ "netrel"; "run"; "sections"; "violations"; "result" ];
+  (match J.member "netrel" doc with
+  | Some header ->
+    Alcotest.(check bool) "tool = selfcheck" true
+      (J.member "tool" header = Some (J.Str "selfcheck"))
+  | None -> Alcotest.fail "missing netrel header");
+  (match J.member "result" doc with
+  | Some result ->
+    Alcotest.(check bool) "result.ok" true
+      (J.member "ok" result = Some (J.Bool true));
+    Alcotest.(check bool) "result.checks matches report" true
+      (J.member "checks" result = Some (J.Int rep.C.checks))
+  | None -> Alcotest.fail "missing result");
+  (* The emitted document must survive its own parser byte-for-byte. *)
+  let s = J.to_string ~pretty:true doc in
+  Alcotest.(check string) "round-trips" s
+    (J.to_string ~pretty:true (J.of_string_exn s))
+
+let t_pp_report () =
+  let rep = Lazy.force small_run in
+  let text = Format.asprintf "%a" C.pp_report rep in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (let n = String.length needle in
+         let rec find i =
+           i + n <= String.length text
+           && (String.sub text i n = needle || find (i + 1))
+         in
+         find 0))
+    [ "selfcheck:"; "oracle"; "metamorphic"; "calibration"; "result: OK" ]
+
+let suite =
+  ( "check",
+    [
+      Alcotest.test_case "corpus deterministic in seed" `Quick t_corpus_deterministic;
+      Alcotest.test_case "corpus cases render artifacts" `Quick t_corpus_case_renders;
+      Alcotest.test_case "small-budget run is clean" `Slow t_run_clean_at_small_budget;
+      Alcotest.test_case "report deterministic in seed" `Slow t_run_deterministic;
+      Alcotest.test_case "obs never changes the report" `Slow t_run_obs_never_changes_report;
+      Alcotest.test_case "json report schema" `Slow t_report_json_schema;
+      Alcotest.test_case "human report" `Slow t_pp_report;
+    ] )

@@ -195,6 +195,138 @@ let prop_s2bdd_exact_with_huge_width =
       let r = S.estimate ~config:(wide S.default_config) g ~terminals:ts in
       r.S.exact && Float.abs (r.S.value -. expect) <= 1e-9)
 
+(* ---- result clamping and bound ordering regressions ---- *)
+
+(* Regression: the raw stratified contribution can overshoot the proven
+   upper bound under sampling noise (this seed is one such draw —
+   raw ~ 0.7331 against upper 0.7248). The result must come back
+   clamped into [lower, upper], with the excursion recorded in Obs
+   rather than silently discarded. Pre-clamp code returned the raw
+   value here. *)
+let t_s2bdd_value_clamped_regression () =
+  (* Bowtie: two triangles sharing vertex 2 — no bridge, so the raw
+     graph hits the width cap with both terminals still separated. *)
+  let g =
+    graph ~n:5
+      [ (0, 1, 0.6); (1, 2, 0.6); (2, 0, 0.6); (2, 3, 0.6); (3, 4, 0.6);
+        (4, 2, 0.6) ]
+  in
+  let obs = Obs.create () in
+  let cfg = { S.default_config with S.width = 2; S.samples = 20; S.seed = 26 } in
+  let r = S.estimate ~obs ~config:cfg g ~terminals:[ 0; 4 ] in
+  Alcotest.(check bool) "clamp event counted" true
+    (Obs.counter_value obs "sampling.value_clamped" >= 1);
+  let raw = Obs.gauge_value obs "sampling.raw_value" in
+  Alcotest.(check bool)
+    (Printf.sprintf "raw %.6f escapes [%.6f, %.6f]" raw r.S.lower r.S.upper)
+    true
+    (raw > r.S.upper);
+  Alcotest.(check bool)
+    (Printf.sprintf "value %.6f clamped into bounds" r.S.value)
+    true
+    (r.S.lower <= r.S.value && r.S.value <= r.S.upper);
+  check_close "clamped to the violated bound" r.S.upper r.S.value
+
+(* Regression: [lower] and [upper] are rounded independently from [pc]
+   and [1 - pd], so on a fully resolved run they used to cross by an
+   ulp (upper a hair below lower), putting value = lower above upper.
+   This mix of near-one and near-zero probabilities reproduced it. *)
+let t_s2bdd_bounds_ordered_when_exact () =
+  let g =
+    graph ~n:5
+      [ (0, 1, 0.98875268947494399); (0, 2, 0.99109709523495815);
+        (0, 3, 0.55054632160215988); (0, 4, 0.011082610370499964) ]
+  in
+  let r = S.estimate ~config:(wide S.default_config) g ~terminals:[ 1; 3; 4 ] in
+  Alcotest.(check bool) "exact" true r.S.exact;
+  Alcotest.(check bool)
+    (Printf.sprintf "bounds ordered: %.17g <= %.17g" r.S.lower r.S.upper)
+    true (r.S.lower <= r.S.upper);
+  Alcotest.(check bool) "value within bounds" true
+    (r.S.lower <= r.S.value && r.S.value <= r.S.upper)
+
+(* ---- HT plug-in variance, Equation (8), against closed form ----
+
+   On the 2-edge series graph 0-1-2 only the full mask connects the
+   terminals, so the estimator collapses to a closed form: with
+   q = p1 * p2 and pi = 1 - (1 - q)^s,
+
+     value = q / pi        (if the full mask was drawn, else 0)
+     var   = value (1 - value) / s  -  (s - 1) q^2 / (2 s)
+
+   which pins every term of the implementation. *)
+let ht_series_closed_form ~p ~s =
+  let q = p *. p in
+  let pi = 1. -. ((1. -. q) ** float_of_int s) in
+  let value = q /. pi in
+  let var =
+    (value *. (1. -. value) /. float_of_int s)
+    -. ((float_of_int s -. 1.) *. q *. q /. (2. *. float_of_int s))
+  in
+  (value, var)
+
+let ht_series ~p ~seed ~samples =
+  let g = graph ~n:3 [ (0, 1, p); (1, 2, p) ] in
+  let obs = Obs.create () in
+  let e = Mcsampling.horvitz_thompson ~obs ~seed g ~terminals:[ 0; 2 ] ~samples in
+  (e, obs)
+
+let t_ht_variance_closed_form () =
+  (* p = 0.1, seed 1 draws the full mask: the plug-in is positive and
+     must equal the closed form exactly. *)
+  let e, obs = ht_series ~p:0.1 ~seed:1 ~samples:100 in
+  let value, var = ht_series_closed_form ~p:0.1 ~s:100 in
+  Alcotest.(check int) "full mask drawn once" 1 e.Mcsampling.hits;
+  check_close ~eps:1e-15 "HT value = q/pi" value e.Mcsampling.value;
+  Alcotest.(check bool) "closed-form variance positive" true (var > 0.);
+  check_close ~eps:1e-15 "Eq.(8) = closed form" var e.Mcsampling.variance_estimate;
+  Alcotest.(check int) "no clamp event" 0
+    (Obs.counter_value obs "sampling.variance_clamped")
+
+(* Regression: at p = 0.99 the Eq.(8) correction term dwarfs the first
+   term and the plug-in goes negative (~ -0.475); it must come back
+   clamped to 0 with the event counted and the raw value preserved in
+   Obs. Pre-PR code clamped silently. *)
+let t_ht_variance_clamped_regression () =
+  let e, obs = ht_series ~p:0.99 ~seed:1 ~samples:100 in
+  let _, raw_var = ht_series_closed_form ~p:0.99 ~s:100 in
+  Alcotest.(check bool) "closed-form variance negative" true (raw_var < 0.);
+  check_close "variance clamped to zero" 0. e.Mcsampling.variance_estimate;
+  Alcotest.(check int) "clamp event counted" 1
+    (Obs.counter_value obs "sampling.variance_clamped");
+  check_close ~eps:1e-15 "raw variance preserved in Obs" raw_var
+    (Obs.gauge_value obs "sampling.raw_variance")
+
+(* ---- s_reduced reporting convention ---- *)
+
+(* [report.s_reduced = 0] means "no sampling was needed", uniformly:
+   trivially resolved runs, exact-by-construction runs (with and
+   without the extension) and combined subproblem reports all follow
+   it, even though the unused Theorem-1 budget of an exact run stays
+   visible in [subresults]. Pre-PR, exact construction reported the
+   unused s' while trivial runs reported 0. *)
+let t_report_s_reduced_convention () =
+  let g = two_triangles 0.6 in
+  let ts = [ 0; 4 ] in
+  let exact_ext = R.estimate ~config:(wide S.default_config) g ~terminals:ts in
+  Alcotest.(check bool) "exact run" true exact_ext.R.exact;
+  Alcotest.(check int) "exact (ext): s_reduced = 0" 0 exact_ext.R.s_reduced;
+  let exact_raw =
+    R.estimate ~config:(wide S.default_config) ~extension:false g ~terminals:ts
+  in
+  Alcotest.(check int) "exact (no ext): s_reduced = 0" 0 exact_raw.R.s_reduced;
+  Alcotest.(check bool) "subresults keep the unused s'" true
+    (List.for_all (fun (r : S.result) -> r.S.s_reduced > 0) exact_raw.R.subresults);
+  let trivial = R.estimate g ~terminals:[ 0 ] in
+  Alcotest.(check int) "trivial: s_reduced = 0" 0 trivial.R.s_reduced;
+  let sampled =
+    R.estimate
+      ~config:{ S.default_config with S.width = 2; S.samples = 50 }
+      ~extension:false g ~terminals:ts
+  in
+  Alcotest.(check bool) "sampled run" true (not sampled.R.exact);
+  Alcotest.(check bool) "sampled: s_reduced > 0" true (sampled.R.s_reduced > 0)
+
 (* ---- Reliability pipeline (Algorithm 1) ---- *)
 
 let t_reliability_exact_small () =
@@ -320,6 +452,11 @@ let suite =
       Alcotest.test_case "unbiased: HT w=2" `Slow t_s2bdd_unbiased_ht;
       Alcotest.test_case "unbiased: random deletion" `Slow t_s2bdd_unbiased_random_heuristic;
       Alcotest.test_case "deterministic by seed" `Quick t_s2bdd_deterministic_by_seed;
+      Alcotest.test_case "value clamped into bounds (regression)" `Quick t_s2bdd_value_clamped_regression;
+      Alcotest.test_case "bounds ordered on exact runs (regression)" `Quick t_s2bdd_bounds_ordered_when_exact;
+      Alcotest.test_case "HT Eq.(8) variance = closed form" `Quick t_ht_variance_closed_form;
+      Alcotest.test_case "HT variance clamp counted (regression)" `Quick t_ht_variance_clamped_regression;
+      Alcotest.test_case "s_reduced = 0 means no sampling" `Quick t_report_s_reduced_convention;
       Alcotest.test_case "pipeline exact on small graphs" `Quick t_reliability_exact_small;
       Alcotest.test_case "pipeline: extension equivalence" `Quick t_reliability_extension_equivalent;
       Alcotest.test_case "pipeline: trivial cases" `Quick t_reliability_trivial;

@@ -71,6 +71,31 @@ let t_transform_keeps_terminal_degree2 () =
   Alcotest.(check int) "terminal 1 kept" 3 (Ugraph.n_vertices tr.T.graph);
   Alcotest.(check int) "edges merged around it" 2 (Ugraph.n_edges tr.T.graph)
 
+let t_transform_parallel_stub () =
+  (* A degree-2 non-terminal attached by two parallel edges to the same
+     endpoint: the contraction walk's dead-edge stub branch. The stub
+     can never reach a terminal, so it must vanish without touching
+     R. *)
+  let g = graph ~n:3 [ (0, 1, 0.5); (1, 2, 0.7); (1, 2, 0.6) ] in
+  let direct = BF.reliability g ~terminals:[ 0; 1 ] in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "stub dropped" 1 (Ugraph.n_edges tr.T.graph);
+  check_close ~eps:1e-12 "R preserved" direct
+    (BF.reliability tr.T.graph ~terminals:tr.T.terminals)
+
+let t_transform_nonterminal_closed_cycle () =
+  (* A cycle of non-terminals hanging off a terminal: the chain walk
+     returns to its anchor (a = b), leaving a self-loop that must then
+     drop. *)
+  let g =
+    graph ~n:4 [ (0, 1, 0.5); (1, 2, 0.6); (2, 3, 0.6); (3, 1, 0.6) ]
+  in
+  let direct = BF.reliability g ~terminals:[ 0; 1 ] in
+  let tr = T.run g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "cycle gone" 1 (Ugraph.n_edges tr.T.graph);
+  check_close ~eps:1e-12 "R preserved" direct
+    (BF.reliability tr.T.graph ~terminals:tr.T.terminals)
+
 let t_transform_idempotent () =
   let g = two_triangles 0.5 in
   let tr = T.run g ~terminals:[ 0; 4 ] in
@@ -162,6 +187,70 @@ let prop_pipeline_preserves_reliability =
       let via = outcome_reliability (P.run g ~terminals:ts) in
       Float.abs (direct -. via) <= 1e-9)
 
+(* Random base graph with a planted walk corner-case gadget anchored at
+   a base vertex: an ear whose contraction walk returns to its anchor
+   (a = b), a parallel stub (the dead-edge branch), or a floating cycle
+   of non-terminals. Terminals come from the base alone, so the gadget
+   is always pure non-terminal structure the transform must erase or
+   contract without moving R. *)
+let arb_with_gadget =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun n ->
+      int_range 1 8 >>= fun m ->
+      int_range 0 2 >>= fun gadget ->
+      int_range 0 (n - 1) >>= fun anchor ->
+      let edge =
+        map3
+          (fun u v p -> (u mod n, v mod n, float_of_int (p mod 11) /. 10.))
+          small_nat small_nat small_nat
+      in
+      list_repeat m edge >>= fun es ->
+      map2
+        (fun seed praw ->
+          let p = 0.1 +. (0.08 *. float_of_int (praw mod 11)) in
+          let gadget_es, extra =
+            match gadget with
+            | 0 -> ([ (anchor, n, p); (n, n + 1, p); (n + 1, anchor, p) ], 2)
+            | 1 -> ([ (anchor, n, p); (anchor, n, p) ], 1)
+            | _ -> ([ (n, n + 1, p); (n + 1, n + 2, p); (n + 2, n, p) ], 3)
+          in
+          let perm = Array.init n Fun.id in
+          Prng.shuffle (Prng.create seed) perm;
+          (n + extra, es @ gadget_es, [ perm.(0); perm.(1) ]))
+        int small_nat)
+  in
+  QCheck.make
+    ~print:(fun (n, es, ts) ->
+      Printf.sprintf "n=%d ts=[%s] es=[%s]" n
+        (String.concat ";" (List.map string_of_int ts))
+        (String.concat " "
+           (List.map (fun (u, v, p) -> Printf.sprintf "(%d,%d,%.2f)" u v p) es)))
+    gen
+
+let prop_transform_preserves_reliability_gadgets =
+  QCheck.Test.make ~name:"transform preserves R through walk corners" ~count:300
+    arb_with_gadget (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let direct = BF.reliability g ~terminals:ts in
+      let tr = T.run g ~terminals:ts in
+      QCheck.assume (Ugraph.n_edges tr.T.graph <= BF.max_edges);
+      let after = BF.reliability tr.T.graph ~terminals:tr.T.terminals in
+      Float.abs (direct -. after) <= 1e-9)
+
+(* The full public exact path — Pipeline.run inside Reliability.exact,
+   extension on — against brute force on random <= 10-vertex graphs
+   (self-loops and parallel edges included by construction of the
+   generator). *)
+let prop_reliability_exact_extension_differential =
+  QCheck.Test.make ~name:"Reliability.exact (ext) = brute force" ~count:300
+    (arb ~max_n:10 ~max_m:14 ~max_k:4) (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let direct = BF.reliability g ~terminals:ts in
+      match Netrel.Reliability.exact ~extension:true g ~terminals:ts with
+      | Error _ -> false
+      | Ok r -> Float.abs (r -. direct) <= 1e-9)
+
 let prop_pipeline_shrinks =
   QCheck.Test.make ~name:"pipeline never grows the problem" ~count:200
     (arb ~max_n:9 ~max_m:13 ~max_k:3) (fun (n, es, ts) ->
@@ -183,6 +272,8 @@ let suite =
       Alcotest.test_case "transform: floating cycle" `Quick t_transform_floating_cycle;
       Alcotest.test_case "transform: dangling path" `Quick t_transform_dangling;
       Alcotest.test_case "transform: keeps degree-2 terminal" `Quick t_transform_keeps_terminal_degree2;
+      Alcotest.test_case "transform: parallel stub" `Quick t_transform_parallel_stub;
+      Alcotest.test_case "transform: non-terminal closed cycle" `Quick t_transform_nonterminal_closed_cycle;
       Alcotest.test_case "transform: idempotent" `Quick t_transform_idempotent;
       Alcotest.test_case "pipeline: two triangles" `Quick t_pipeline_two_triangles;
       Alcotest.test_case "pipeline: trivial cases" `Quick t_pipeline_trivial_cases;
@@ -192,6 +283,8 @@ let suite =
     @ qtests
         [
           prop_transform_preserves_reliability;
+          prop_transform_preserves_reliability_gadgets;
+          prop_reliability_exact_extension_differential;
           prop_pipeline_preserves_reliability;
           prop_pipeline_shrinks;
         ] )
