@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels clean
 
 build:
 	dune build
@@ -28,6 +28,15 @@ bench-quick:
 # BENCH_parallel_trace.json (Chrome trace-event, Perfetto-loadable).
 bench-smoke:
 	dune exec bench/main.exe -- --only parallel --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Flat-kernel throughput vs the retained reference samplers (karate,
+# jobs = 1, `= ref` bit-identity column), emitting the self-validated
+# BENCH_kernels.json at the repo root — the tracked kernel-speedup
+# artifact (compare its kernel-mc samples/s against the sampling-mc
+# seconds in BENCH_parallel.json). Also runs under `dune runtest`.
+bench-kernels:
+	dune exec bench/main.exe -- --only kernels --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

@@ -30,6 +30,15 @@ let tests seed =
        F.descend_union ctx ~dsu ~detail:false ~pos:0 F.initial
          ~bernoulli:(fun p -> Prng.bernoulli rng p))
   in
+  (* The same descent through the flat kernel (early-exit union-find):
+     the production path; the row above is the retained reference. *)
+  let ksc = Kernel.create () in
+  let t_descend_kernel =
+    Test.make ~name:"fig3/4: descend-kernel tokyo"
+      (Staged.stage @@ fun () ->
+       F.descend_kernel ctx ~scratch:ksc ~detail:false ~pos:0 F.initial
+         ~bernoulli:(fun p -> Prng.bernoulli rng p))
+  in
   (* Figure 5 kernel: frontier state transitions (one BDD layer step). *)
   let st =
     match F.step ctx ~eager:true ~pos:0 F.initial ~exists:true with
@@ -61,7 +70,7 @@ let tests seed =
          karate ~terminals:karate_ts)
   in
   Test.make_grouped ~name:"netrel"
-    [ t_mc; t_descend; t_step; t_preprocess; t_samplesize; t_pro ]
+    [ t_mc; t_descend; t_descend_kernel; t_step; t_preprocess; t_samplesize; t_pro ]
 
 let benchmark seed =
   let ols =

@@ -663,6 +663,114 @@ let parallel cfg =
     datasets;
   emit_json cfg ~section:"parallel" ~trace:tr (List.rev !stats_docs)
 
+(* ---- Kernels: flat sampling fast path vs retained reference ---- *)
+
+(* A kernel-path stats document must carry the throughput counters the
+   README points readers at; a silent instrumentation regression would
+   otherwise leave BENCH_kernels.json claiming nothing. *)
+let assert_kernel_counters ~method_name doc =
+  let missing what =
+    failwith
+      (Printf.sprintf "stats doc for %s missing %s" method_name what)
+  in
+  match J.member "sampling" doc with
+  | None -> missing "sampling"
+  | Some sampling -> (
+    match J.member "kernel" sampling with
+    | None -> missing "sampling.kernel"
+    | Some kern ->
+      if J.member "samples" kern = None then missing "sampling.kernel.samples";
+      if J.member "samples_per_sec" kern = None then
+        missing "sampling.kernel.samples_per_sec")
+
+let kernels cfg =
+  banner "Kernels: flat sampling fast path vs retained reference"
+    "Same seed, same chunk layout, same Prng streams: `= ref` must read\n\
+     true on every row (the kernel is a bit-identical fast path through\n\
+     CSR arrays, packed mask words and an early-exit union-find, not a\n\
+     different estimator). Speedup = reference time / kernel time at\n\
+     jobs = 1; samples/s is the kernel-path throughput, recorded in\n\
+     BENCH_kernels.json under sampling.kernel.samples_per_sec.";
+  let s = if cfg.quick then 10_000 else 40_000 in
+  let k = 10 in
+  let datasets =
+    let karate = D.karate ~seed:cfg.seed () in
+    if cfg.quick then [ karate ]
+    else karate :: D.large ~seed:cfg.seed ~scale:cfg.scale ()
+  in
+  let stats_docs = ref [] in
+  let tr = section_trace cfg in
+  List.iter
+    (fun (d : D.t) ->
+      let g = d.D.graph in
+      let ts = terminals cfg ~search:1 g ~k in
+      Printf.printf "--- %s (s = %d, k = %d, jobs = 1) ---\n" d.D.abbr s k;
+      Printf.printf "%-13s %14s %10s %10s %8s %11s %6s\n" "Method" "R"
+        "reference" "kernel" "speedup" "samples/s" "= ref";
+      let row name reference kernel =
+        let re, rt = Relstats.time reference in
+        let ke, kt = Relstats.time kernel in
+        Printf.printf "%-13s %14.8f %10s %10s %7.1fx %11.0f %6b\n" name
+          ke.Mcsampling.value
+          (Relstats.format_seconds rt)
+          (Relstats.format_seconds kt)
+          (rt /. kt)
+          (if kt > 0. then float_of_int s /. kt else 0.)
+          (re = ke)
+      in
+      row "Sampling(MC)"
+        (fun () ->
+          Mcsampling.Reference.monte_carlo ~seed:cfg.seed g ~terminals:ts
+            ~samples:s)
+        (fun () ->
+          Mcsampling.monte_carlo ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+            ~samples:s);
+      row "Sampling(HT)"
+        (fun () ->
+          Mcsampling.Reference.horvitz_thompson ~seed:cfg.seed g ~terminals:ts
+            ~samples:s)
+        (fun () ->
+          Mcsampling.horvitz_thompson ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+            ~samples:s);
+      print_newline ();
+      if cfg.json || cfg.trace then begin
+        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let kernel_doc method_name f =
+          let doc =
+            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr f
+          in
+          assert_kernel_counters ~method_name doc;
+          add doc
+        in
+        kernel_doc "kernel-mc" (fun ~obs ~trace ->
+            SD.result_of_estimate
+              (Mcsampling.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 g
+                 ~terminals:ts ~samples:s));
+        kernel_doc "kernel-ht" (fun ~obs ~trace ->
+            SD.result_of_estimate
+              (Mcsampling.horvitz_thompson ~obs ~trace ~seed:cfg.seed ~jobs:1
+                 g ~terminals:ts ~samples:s));
+        (* Reference rows carry wall time only (the reference paths are
+           deliberately uninstrumented); they give the JSON file its
+           before/after pair per dataset. *)
+        add
+          (stats_run cfg ~method_name:"reference-mc" ~graph:d.D.abbr ~ts ~s
+             ~w:0 ~trace:tr
+             (fun ~obs:_ ~trace:_ ->
+               SD.result_of_estimate
+                 (Mcsampling.Reference.monte_carlo ~seed:cfg.seed g
+                    ~terminals:ts ~samples:s)));
+        add
+          (stats_run cfg ~method_name:"reference-ht" ~graph:d.D.abbr ~ts ~s
+             ~w:0 ~trace:tr
+             (fun ~obs:_ ~trace:_ ->
+               SD.result_of_estimate
+                 (Mcsampling.Reference.horvitz_thompson ~seed:cfg.seed g
+                    ~terminals:ts ~samples:s)))
+      end)
+    datasets;
+  emit_json cfg ~section:"kernels" ~trace:tr (List.rev !stats_docs)
+
 let all_sections =
   [
     ("table2", table2);
@@ -677,4 +785,5 @@ let all_sections =
     ("ablation_heuristic", ablation_heuristic);
     ("ablation_exact", ablation_exact);
     ("parallel", parallel);
+    ("kernels", kernels);
   ]

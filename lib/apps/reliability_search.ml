@@ -20,7 +20,7 @@ let search_with set ~sources ~eta =
   List.sort
     (fun a b ->
       match Float.compare b.reliability a.reliability with
-      | 0 -> compare a.vertex b.vertex
+      | 0 -> Int.compare a.vertex b.vertex
       | c -> c)
     !hits
 

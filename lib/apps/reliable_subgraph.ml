@@ -82,7 +82,9 @@ let discover ?(seed = 1) ?(samples = 500) ?max_rounds g ~seeds ~threshold =
       List.init n Fun.id
       |> List.filter (fun v -> (not removed.(v)) && not is_seed.(v))
       |> List.sort (fun a b ->
-             match compare sup.(a) sup.(b) with 0 -> compare a b | c -> c)
+             match Int.compare sup.(a) sup.(b) with
+             | 0 -> Int.compare a b
+             | c -> c)
     in
     let rec try_remove = function
       | [] -> false

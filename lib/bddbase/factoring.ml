@@ -102,7 +102,8 @@ let reliability ?(call_budget = default_call_budget) g ~terminals =
       let e = Ugraph.edge g eid in
       let contracted, u, v = contract g ~eid in
       let ts_contracted =
-        List.sort_uniq compare (List.map (fun t -> if t = v then u else t) ts)
+        List.sort_uniq Int.compare
+          (List.map (fun t -> if t = v then u else t) ts)
       in
       let on = solve contracted ts_contracted in
       let off = solve (delete g ~eid) ts in

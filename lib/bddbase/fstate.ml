@@ -27,13 +27,14 @@ type ctx = {
   terminal_arr : int array;
   is_terminal : bool array;
   incident_positions : int array array; (* per vertex, sorted *)
-  (* Edge endpoints and probabilities laid out in processing order:
-     descents stream through these sequentially (the permuted accesses
-     through [order] into the boxed edge records would dominate the
-     per-sample cost otherwise). *)
-  ord_u : int array;
-  ord_v : int array;
-  ord_p : float array;
+  (* Edge endpoints and probabilities laid out in processing order
+     (position [i] = edge [order.(i)]): descents stream through these
+     flat arrays sequentially (the permuted accesses through [order]
+     into the boxed edge records would dominate the per-sample cost
+     otherwise). The snapshot also carries the CSR adjacency, unused by
+     the descents themselves but shared with every other kernel
+     consumer. *)
+  csr : Kernel.Csr.t;
 }
 
 let initial = { verts = [||]; comp_of = [||]; tc = [||] }
@@ -67,20 +68,10 @@ let make g ~order ~terminals =
           Array.map (fun eid -> plan.Graphalgo.Ordering.Frontier.pos_of_eid.(eid))
             (Ugraph.incident_eids g v)
         in
-        Array.sort compare ps;
+        Array.sort Int.compare ps;
         ps)
   in
-  let m = Array.length order in
-  let ord_u = Array.make (max m 1) 0
-  and ord_v = Array.make (max m 1) 0
-  and ord_p = Array.make (max m 1) 0. in
-  Array.iteri
-    (fun pos eid ->
-      let e = Ugraph.edge g eid in
-      ord_u.(pos) <- e.Ugraph.u;
-      ord_v.(pos) <- e.Ugraph.v;
-      ord_p.(pos) <- e.Ugraph.p)
-    order;
+  let csr = Kernel.Csr.of_order g ~order in
   {
     g;
     k;
@@ -91,9 +82,7 @@ let make g ~order ~terminals =
     terminal_arr = Array.of_list terminals;
     is_terminal;
     incident_positions;
-    ord_u;
-    ord_v;
-    ord_p;
+    csr;
   }
 
 let find_vert st x =
@@ -140,7 +129,7 @@ let step ctx ~eager ~pos st ~exists =
     let pending = ref [] in
     if needs u && find_vert st u < 0 then pending := [ u ];
     if v <> u && needs v && find_vert st v < 0 then
-      pending := List.sort_uniq compare (v :: !pending);
+      pending := List.sort_uniq Int.compare (v :: !pending);
     !pending
   in
   (* Merge old verts with pending insertions, both sorted. *)
@@ -341,22 +330,24 @@ let descend_union ctx ~dsu ~detail ~pos st ~bernoulli =
      be merged by the descent dedup table. *)
   let hs = Hash64.Stream.create () in
   let logq = ref 0. in
+  let eu = ctx.csr.Kernel.Csr.eu
+  and ev = ctx.csr.Kernel.Csr.ev
+  and ep = ctx.csr.Kernel.Csr.ep in
   if detail then
     (* HT needs the completion's identity and conditional probability. *)
     for p = pos to m - 1 do
-      let pe = ctx.ord_p.(p) in
+      let pe = ep.(p) in
       let exists = bernoulli pe in
       Hash64.Stream.add_bit hs exists;
       if exists then begin
         if pe < 1. then logq := !logq +. Float.log pe;
-        ignore (Dsu.union dsu ctx.ord_u.(p) ctx.ord_v.(p))
+        ignore (Dsu.union dsu eu.(p) ev.(p))
       end
       else logq := !logq +. Float.log1p (-.pe)
     done
   else
     for p = pos to m - 1 do
-      if bernoulli ctx.ord_p.(p) then
-        ignore (Dsu.union dsu ctx.ord_u.(p) ctx.ord_v.(p))
+      if bernoulli ep.(p) then ignore (Dsu.union dsu eu.(p) ev.(p))
     done;
   Array.iteri (fun i v -> ignore (Dsu.union dsu v (n + st.comp_of.(i)))) st.verts;
   let anchor = ref (-1) in
@@ -368,6 +359,38 @@ let descend_union ctx ~dsu ~detail ~pos st ~bernoulli =
   Array.iteri (fun c t -> if t > 0 then require (n + c)) st.tc;
   Array.iter (fun t -> if ctx.first_pos.(t) >= pos then require t) ctx.terminal_arr;
   (!connected, Hash64.Stream.finish hs, !logq)
+
+(* What [descend_union] returns as the hash when [detail] is false: the
+   digest of an empty Hash64 stream (a fixed non-zero constant, not 0).
+   [descend_kernel] must return the same value to stay bit-compatible. *)
+let empty_digest = Hash64.mask_words [||] ~bits:0
+
+(* Kernel fast path for [descend_union]: same draw order, same float
+   operations, same completion hash — but drawing through the flat
+   kernel (present-position buffer, packed mask words) and checking
+   connectivity with the early-exit union-find instead of unioning
+   every present edge into a full-reset [Dsu.t].
+
+   Element layout mirrors [descend_union]: vertices [0 .. n-1], virtual
+   anchors [n + comp_id] for the state's explicit components. Anchors
+   are unioned before the terminal marks — safe, because an anchor
+   union only ever touches roots with [tcnt = 0], so [live] stays
+   untouched; the marks must precede [union_drawn], which early-exits
+   on the live count. *)
+let descend_kernel ctx ~scratch ~detail ~pos st ~bernoulli =
+  let n = Ugraph.n_vertices ctx.g in
+  let nc = Array.length st.tc in
+  let logq = Kernel.draw_sub scratch ctx.csr ~pos ~detail ~bernoulli in
+  let hash = if detail then Kernel.mask_hash scratch else empty_digest in
+  Kernel.round_begin scratch ~elems:(n + nc);
+  Array.iteri
+    (fun i v -> Kernel.union scratch v (n + st.comp_of.(i)))
+    st.verts;
+  Array.iteri (fun c t -> if t > 0 then Kernel.mark scratch (n + c)) st.tc;
+  Array.iter
+    (fun t -> if ctx.first_pos.(t) >= pos then Kernel.mark scratch t)
+    ctx.terminal_arr;
+  (Kernel.union_drawn scratch ctx.csr, hash, logq)
 
 module Key_table = Hashtbl.Make (struct
   type t = int array

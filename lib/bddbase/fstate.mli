@@ -118,12 +118,36 @@ val descend_union :
     [O(remaining edges)] per sample, like the plain Monte Carlo
     sampler. Returns [(connected, completion_hash, log_probability)];
     the latter two feed the Horvitz–Thompson estimator and are only
-    computed when [detail] is [true] ([0, 0.] otherwise — the Monte
-    Carlo estimator skips that work).
+    computed when [detail] is [true] (the empty-stream digest and [0.]
+    otherwise — the Monte Carlo estimator skips that work).
 
     [dsu] must have size at least
     [n_vertices + component_count state]; size [2 * n_vertices] always
-    suffices. It is reset on entry. *)
+    suffices. It is reset on entry.
+
+    This is the retained {e reference} implementation; production
+    descents run {!descend_kernel}, which is kept bit-for-bit
+    compatible (same draws, same hash, same log-probability, same
+    verdict) and checked against this one by [test/test_kernel.ml]. *)
+
+val descend_kernel :
+  ctx ->
+  scratch:Kernel.t ->
+  detail:bool ->
+  pos:int ->
+  state ->
+  bernoulli:(float -> bool) ->
+  bool * int * float
+(** Kernel fast path for {!descend_union}: draws the completion through
+    {!Kernel.draw_sub} (flat position buffer; packed mask words when
+    [detail]) and checks connectivity with the early-exit generation-
+    stamped union–find — the union loop stops as soon as the required
+    components have merged instead of unioning every present edge.
+    Bit-identical to {!descend_union} on the same [bernoulli] stream:
+    same number of draws in the same order, same completion hash, same
+    log-probability, same verdict. [scratch] is re-initialised on
+    entry (a shared per-domain scratch from {!Kernel.scratch} is the
+    intended argument). *)
 
 module Key_table : Hashtbl.S with type key = int array
 (** Hash tables over merge keys (array-content hashing). *)

@@ -219,16 +219,39 @@ let oracle_case t trace ~jobs (c : Shapes.case) ~seed ~rex =
   let artifact = artifact_of c ~seed in
   let g = c.Shapes.graph and terminals = c.Shapes.terminals in
   let per_jobs run = List.map (fun j -> (j, run j)) jobs in
+  let mc_results =
+    per_jobs (fun j ->
+        Mcsampling.monte_carlo ~seed ~jobs:j g ~terminals
+          ~samples:oracle_samples)
+  in
   sampler_checks t ~tag:"mc" ~case ~artifact ~rex ~upper_capped:true
-    ~tol:mc_accuracy_tol
-    (per_jobs (fun j ->
-         Mcsampling.monte_carlo ~seed ~jobs:j g ~terminals
-           ~samples:oracle_samples));
+    ~tol:mc_accuracy_tol mc_results;
+  let ht_results =
+    per_jobs (fun j ->
+        Mcsampling.horvitz_thompson ~seed ~jobs:j g ~terminals
+          ~samples:oracle_samples)
+  in
   sampler_checks t ~tag:"ht" ~case ~artifact ~rex ~upper_capped:false
-    ~tol:ht_accuracy_tol
-    (per_jobs (fun j ->
-         Mcsampling.horvitz_thompson ~seed ~jobs:j g ~terminals
-           ~samples:oracle_samples));
+    ~tol:ht_accuracy_tol ht_results;
+  (* Differential oracle for the flat sampling kernels: the retained
+     pre-kernel implementations must reproduce the kernel-path
+     estimates bit for bit (same seed, same chunking, same draws). *)
+  let kernel_vs_reference ~tag results reference =
+    match results with
+    | [] -> ()
+    | (_, e0) :: _ ->
+      let r = reference ?seed:(Some seed) g ~terminals ~samples:oracle_samples in
+      check t
+        ~invariant:(tag ^ ".kernel-matches-reference")
+        ~case ~artifact
+        (mc_projection e0 = mc_projection r)
+        (fun () ->
+          Printf.sprintf "kernel value = %.17g vs reference %.17g"
+            e0.Mcsampling.value r.Mcsampling.value)
+  in
+  kernel_vs_reference ~tag:"mc" mc_results Mcsampling.Reference.monte_carlo;
+  kernel_vs_reference ~tag:"ht" ht_results
+    Mcsampling.Reference.horvitz_thompson;
   let s2 ~width ~estimator =
     let config =
       {

@@ -96,26 +96,16 @@ let alloc rng x =
     let f = Float.floor x in
     int_of_float f + (if Prng.bernoulli rng (x -. f) then 1 else 0)
 
-(* Per-domain DSU scratch for the DP descents (sized 2 * |V|, which
-   always suffices for [Fstate.descend_union]). Reset per descent, so
-   reuse across tasks and domains cannot affect results. *)
-let dsu_key : Dsu.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Dsu.create 0)
-
-let descent_scratch size =
-  let d = Domain.DLS.get dsu_key in
-  if Dsu.size d >= size then d
-  else begin
-    let d = Dsu.create size in
-    Domain.DLS.set dsu_key d;
-    d
-  end
-
 (* One DP descent from a node's state: the state anchors past
-   connectivity, the remaining edges are flipped, one union-find pass
-   decides the indicator. Returns [(connected, hash, log_q)]; the hash
-   and log-probability are only computed for the HT estimator. *)
-let descend_detailed ctx dsu rng ~detail ~pos st =
-  F.descend_union ctx ~dsu ~detail ~pos st ~bernoulli:(fun p -> Prng.bernoulli rng p)
+   connectivity, the remaining edges are flipped, one early-exit
+   union-find pass over the drawn edges decides the indicator. Runs on
+   the per-domain kernel scratch ([Kernel.scratch] — re-initialised per
+   descent, so reuse across tasks and domains cannot affect results).
+   Returns [(connected, hash, log_q)]; the hash and log-probability are
+   only computed for the HT estimator. *)
+let descend_detailed ctx sc rng ~detail ~pos st =
+  F.descend_kernel ctx ~scratch:sc ~detail ~pos st
+    ~bernoulli:(fun p -> Prng.bernoulli rng p)
 
 (* Horvitz–Thompson weight q / (1 - (1 - q)^n): the single shared
    implementation lives in Mcsampling (this module used to carry a
@@ -123,19 +113,19 @@ let descend_detailed ctx dsu rng ~detail ~pos st =
 let ht_weight = Mcsampling.ht_weight
 
 (* Within-node reliability estimate from [n >= 1] descents. *)
-let node_r_hat ctx cfg dsu rng ~pos st ~n =
+let node_r_hat ctx cfg sc rng ~pos st ~n =
   match cfg.estimator with
   | Monte_carlo ->
     let hits = ref 0 in
     for _ = 1 to n do
-      let connected, _, _ = descend_detailed ctx dsu rng ~detail:false ~pos st in
+      let connected, _, _ = descend_detailed ctx sc rng ~detail:false ~pos st in
       if connected then incr hits
     done;
     float_of_int !hits /. float_of_int n
   | Horvitz_thompson ->
     let seen : (int, float * bool) Hashtbl.t = Hashtbl.create n in
     for _ = 1 to n do
-      let connected, h, logq = descend_detailed ctx dsu rng ~detail:true ~pos st in
+      let connected, h, logq = descend_detailed ctx sc rng ~detail:true ~pos st in
       if not (Hashtbl.mem seen h) then Hashtbl.add seen h (logq, connected)
     done;
     Hashtbl.fold
@@ -411,7 +401,6 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
        run them on the pool (or inline) and fold the per-task
        contributions in consumption order. *)
     let task_arr = Array.of_list (List.rev !tasks) in
-    let dsu_size = 2 * Ugraph.n_vertices g in
     let so = Obs.sub obs "sampling" in
     Obs.text so "estimator"
       (match cfg.estimator with Monte_carlo -> "mc" | Horvitz_thompson -> "ht");
@@ -424,23 +413,32 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           let ts = Trace.now tr in
           let t0 = Obs.now obs in
           let t = task_arr.(i) in
-          let dsu = descent_scratch dsu_size in
+          let sc = Kernel.scratch () in
           let c =
             t.t_factor
-            *. node_r_hat ctx cfg dsu t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n
+            *. node_r_hat ctx cfg sc t.t_rng ~pos:t.t_pos t.t_st ~n:t.t_n
           in
           Trace.complete tr ~ts "descent"
             ~args:[ ("task", Int i); ("n", Int t.t_n) ];
           (c, Obs.now obs -. t0, tr))
     in
+    let descent_secs = ref 0. in
     let contribution =
       Array.fold_left
         (fun acc (c, dt, tr) ->
           Obs.record_span so "descent" dt;
+          descent_secs := !descent_secs +. dt;
           Trace.merge ~into:trace tr;
           acc +. c)
         0. contribs
     in
+    (* Kernel throughput over the descent tasks: summed per-task wall
+       time, so the gauge reads as per-domain samples/sec. *)
+    Obs.add so "kernel.samples" !samples_drawn;
+    Obs.gauge so "kernel.samples_per_sec"
+      (if !descent_secs > 0. then
+         float_of_int !samples_drawn /. !descent_secs
+       else 0.);
     let lower = Xprob.to_float_approx !pc in
     (* [pc] and [pd] are each correct to an ulp, but the float rounding
        of [1 - pd] is independent of [pc]'s, so on a fully resolved run

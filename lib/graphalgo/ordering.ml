@@ -69,8 +69,8 @@ let bfs_vertex_order_from g sources =
   let sources =
     List.sort
       (fun a b ->
-        match compare (Ugraph.degree g a) (Ugraph.degree g b) with
-        | 0 -> compare a b
+        match Int.compare (Ugraph.degree g a) (Ugraph.degree g b) with
+        | 0 -> Int.compare a b
         | c -> c)
       sources
   in
@@ -136,8 +136,8 @@ let degree_vertex_order g =
   let order = Array.init n Fun.id in
   Array.sort
     (fun a b ->
-      match compare (Ugraph.degree g a) (Ugraph.degree g b) with
-      | 0 -> compare a b
+      match Int.compare (Ugraph.degree g a) (Ugraph.degree g b) with
+      | 0 -> Int.compare a b
       | c -> c)
     order;
   order

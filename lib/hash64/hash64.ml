@@ -49,3 +49,16 @@ let mask present m =
     Stream.add_bit t present.(eid)
   done;
   Stream.finish t
+
+(* Digest of [bits] mask bits already packed 62-per-word LSB-first.
+   Digest-identical to [mask]/[Stream] over the same bit sequence: the
+   stream flushes exactly once per full 62-bit word plus once for a
+   trailing partial word — i.e. once per packed word — and then folds
+   the bit count, which is what the loop below replays. *)
+let mask_words words ~bits =
+  let nw = (bits + word_bits - 1) / word_bits in
+  let h = ref seed in
+  for i = 0 to nw - 1 do
+    h := mix64 (Int64.logxor !h (Int64.of_int words.(i)))
+  done;
+  Int64.to_int (mix64 (Int64.logxor !h (Int64.of_int bits))) land max_int

@@ -20,6 +20,19 @@ val mix64 : int64 -> int64
 (** The splitmix64 / murmur3-style finalizer: a bijective full-avalanche
     mix of a 64-bit word. *)
 
+val word_bits : int
+(** Payload bits per packed word: [62] (OCaml native ints are 63-bit and
+    digests stay non-negative). *)
+
+val mask_words : int array -> bits:int -> int
+(** [mask_words words ~bits] hashes [bits] mask bits already packed
+    LSB-first, {!word_bits} per word, into [words] (only the first
+    [ceil (bits / word_bits)] entries are read; a trailing partial word
+    must be zero-padded above its valid bits). Digest-identical to
+    {!mask} / {!Stream} over the same bit sequence — the fast path for
+    callers that pack words during the draw instead of re-scanning a
+    [bool array]. *)
+
 val mask : bool array -> int -> int
 (** [mask present m] hashes the first [m] entries of [present] (packed
     LSB-first into 62-bit words) to a non-negative 62-bit native int.

@@ -1,0 +1,295 @@
+(* Flat sampling kernels. See kernel.mli for the contract; DESIGN.md
+   section 10 documents the layout, the draw-order contract, and the
+   early-exit invariant. *)
+
+module Csr = struct
+  type t = {
+    n : int;
+    m : int;
+    eu : int array;
+    ev : int array;
+    ep : float array;
+    off : int array;
+    adj_pos : int array;
+    adj_other : int array;
+  }
+
+  (* Two-pass CSR fill: degree count, prefix sums, then scatter. A
+     self-loop contributes one endpoint slot, matching Ugraph. *)
+  let build_adjacency ~n ~m eu ev =
+    let off = Array.make (n + 1) 0 in
+    for pos = 0 to m - 1 do
+      off.(eu.(pos) + 1) <- off.(eu.(pos) + 1) + 1;
+      if ev.(pos) <> eu.(pos) then off.(ev.(pos) + 1) <- off.(ev.(pos) + 1) + 1
+    done;
+    for v = 1 to n do
+      off.(v) <- off.(v) + off.(v - 1)
+    done;
+    let total = off.(n) in
+    let adj_pos = Array.make (max total 1) 0 in
+    let adj_other = Array.make (max total 1) 0 in
+    let cursor = Array.sub off 0 n in
+    for pos = 0 to m - 1 do
+      let u = eu.(pos) and v = ev.(pos) in
+      let cu = cursor.(u) in
+      adj_pos.(cu) <- pos;
+      adj_other.(cu) <- v;
+      cursor.(u) <- cu + 1;
+      if v <> u then begin
+        let cv = cursor.(v) in
+        adj_pos.(cv) <- pos;
+        adj_other.(cv) <- u;
+        cursor.(v) <- cv + 1
+      end
+    done;
+    (off, adj_pos, adj_other)
+
+  let of_order g ~order =
+    let n = Ugraph.n_vertices g in
+    let m = Array.length order in
+    let eu = Array.make (max m 1) 0
+    and ev = Array.make (max m 1) 0
+    and ep = Array.make (max m 1) 0. in
+    Array.iteri
+      (fun pos eid ->
+        let e = Ugraph.edge g eid in
+        eu.(pos) <- e.Ugraph.u;
+        ev.(pos) <- e.Ugraph.v;
+        ep.(pos) <- e.Ugraph.p)
+      order;
+    let off, adj_pos, adj_other = build_adjacency ~n ~m eu ev in
+    { n; m; eu; ev; ep; off; adj_pos; adj_other }
+
+  let of_graph g = of_order g ~order:(Array.init (Ugraph.n_edges g) Fun.id)
+
+  let n_vertices t = t.n
+  let n_edges t = t.m
+
+  let iter_incident t v f =
+    for i = t.off.(v) to t.off.(v + 1) - 1 do
+      f ~pos:t.adj_pos.(i) ~other:t.adj_other.(i)
+    done
+end
+
+type t = {
+  (* Draw buffers. [present] holds the drawn-present positions of the
+     last draw; [words] the packed mask bits of the last detail draw. *)
+  mutable present : int array;
+  mutable n_present : int;
+  mutable words : int array;
+  mutable mask_bits : int;
+  (* Generation-stamped union-find: an element whose [stamp] is not the
+     current [gen] is an untouched singleton. [round_begin] bumps [gen]
+     instead of resetting the arrays, so starting a round costs O(1)
+     however large the last graph was. [tcnt] counts marked (required)
+     elements per root; [live] counts roots with [tcnt > 0]. *)
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable tcnt : int array;
+  mutable stamp : int array;
+  mutable gen : int;
+  mutable live : int;
+}
+
+let create () =
+  {
+    present = [||];
+    n_present = 0;
+    words = [||];
+    mask_bits = 0;
+    parent = [||];
+    rank = [||];
+    tcnt = [||];
+    stamp = [||];
+    gen = 0;
+    live = 0;
+  }
+
+let scratch_key : t Domain.DLS.key = Domain.DLS.new_key create
+let scratch () = Domain.DLS.get scratch_key
+
+let ensure_edges t m =
+  if Array.length t.present < m then t.present <- Array.make (max m 1) 0
+
+let ensure_words t bits =
+  let nw = (bits + Hash64.word_bits - 1) / Hash64.word_bits in
+  if Array.length t.words < nw then t.words <- Array.make (max nw 1) 0
+
+(* ---- draws ---- *)
+
+let draw t (c : Csr.t) rng =
+  let m = c.Csr.m in
+  ensure_edges t m;
+  let ep = c.Csr.ep and present = t.present in
+  let np = ref 0 in
+  for pos = 0 to m - 1 do
+    if Prng.bernoulli rng ep.(pos) then begin
+      present.(!np) <- pos;
+      incr np
+    end
+  done;
+  t.n_present <- !np
+
+let draw_prob t (c : Csr.t) rng =
+  let m = c.Csr.m in
+  ensure_edges t m;
+  ensure_words t m;
+  let ep = c.Csr.ep and present = t.present and words = t.words in
+  let np = ref 0 and acc = ref 0 and nbits = ref 0 and w = ref 0 in
+  let prob = ref Xprob.one in
+  for pos = 0 to m - 1 do
+    let p = ep.(pos) in
+    (* One Prng call per edge in position order, and the same
+       float-operation order as the reference draw: both are part of
+       the bit-identity contract. *)
+    if Prng.bernoulli rng p then begin
+      present.(!np) <- pos;
+      incr np;
+      acc := !acc lor (1 lsl !nbits);
+      prob := Xprob.scale p !prob
+    end
+    else prob := Xprob.scale (1. -. p) !prob;
+    incr nbits;
+    if !nbits = Hash64.word_bits then begin
+      words.(!w) <- !acc;
+      incr w;
+      acc := 0;
+      nbits := 0
+    end
+  done;
+  if !nbits > 0 then words.(!w) <- !acc;
+  t.n_present <- !np;
+  t.mask_bits <- m;
+  !prob
+
+let draw_sub t (c : Csr.t) ~pos ~detail ~bernoulli =
+  let m = c.Csr.m in
+  let remaining = m - pos in
+  ensure_edges t remaining;
+  let ep = c.Csr.ep and present = t.present in
+  let np = ref 0 in
+  let logq = ref 0. in
+  if detail then begin
+    ensure_words t remaining;
+    let words = t.words in
+    let acc = ref 0 and nbits = ref 0 and w = ref 0 in
+    for p = pos to m - 1 do
+      let pe = ep.(p) in
+      let exists = bernoulli pe in
+      if exists then begin
+        present.(!np) <- p;
+        incr np;
+        acc := !acc lor (1 lsl !nbits);
+        if pe < 1. then logq := !logq +. Float.log pe
+      end
+      else logq := !logq +. Float.log1p (-.pe);
+      incr nbits;
+      if !nbits = Hash64.word_bits then begin
+        words.(!w) <- !acc;
+        incr w;
+        acc := 0;
+        nbits := 0
+      end
+    done;
+    if !nbits > 0 then words.(!w) <- !acc;
+    t.mask_bits <- remaining
+  end
+  else
+    for p = pos to m - 1 do
+      if bernoulli ep.(p) then begin
+        present.(!np) <- p;
+        incr np
+      end
+    done;
+  t.n_present <- !np;
+  !logq
+
+let n_present t = t.n_present
+let mask_hash t = Hash64.mask_words t.words ~bits:t.mask_bits
+
+(* ---- early-exit connectivity ---- *)
+
+let ensure_elems t size =
+  if Array.length t.parent < size then begin
+    t.parent <- Array.make size 0;
+    t.rank <- Array.make size 0;
+    t.tcnt <- Array.make size 0;
+    (* Fresh stamps are 0, which never equals a live generation
+       (round_begin makes gen >= 1): everything starts stale. *)
+    t.stamp <- Array.make size 0
+  end
+
+let round_begin t ~elems =
+  ensure_elems t elems;
+  if t.gen = max_int then begin
+    (* Unreachable in practice; keep the stamp invariant anyway. *)
+    Array.fill t.stamp 0 (Array.length t.stamp) 0;
+    t.gen <- 0
+  end;
+  t.gen <- t.gen + 1;
+  t.live <- 0
+
+(* Lazily re-initialise an element on first touch this round. Interior
+   nodes of a parent chain were all touched when they were unioned, so
+   [find] only needs the one check at its entry point. *)
+let touch t x =
+  if t.stamp.(x) <> t.gen then begin
+    t.stamp.(x) <- t.gen;
+    t.parent.(x) <- x;
+    t.rank.(x) <- 0;
+    t.tcnt.(x) <- 0
+  end
+
+let find t x =
+  touch t x;
+  let parent = t.parent in
+  let rec loop x =
+    let p = parent.(x) in
+    if p = x then x
+    else begin
+      let gp = parent.(p) in
+      (* Path halving. *)
+      parent.(x) <- gp;
+      loop gp
+    end
+  in
+  loop x
+
+let mark t x =
+  let r = find t x in
+  if t.tcnt.(r) = 0 then t.live <- t.live + 1;
+  t.tcnt.(r) <- t.tcnt.(r) + 1
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let ra, rb = if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb) in
+    t.parent.(rb) <- ra;
+    if t.tcnt.(rb) > 0 then begin
+      if t.tcnt.(ra) > 0 then t.live <- t.live - 1;
+      t.tcnt.(ra) <- t.tcnt.(ra) + t.tcnt.(rb);
+      t.tcnt.(rb) <- 0
+    end;
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1
+  end
+
+let connected t = t.live <= 1
+
+let union_drawn t (c : Csr.t) =
+  let eu = c.Csr.eu and ev = c.Csr.ev and present = t.present in
+  let np = t.n_present in
+  let i = ref 0 in
+  (* Early exit: [live] is monotone non-increasing under union, so
+     stopping at [live <= 1] yields the same verdict as unioning every
+     drawn edge. *)
+  while t.live > 1 && !i < np do
+    let pos = present.(!i) in
+    union t eu.(pos) ev.(pos);
+    incr i
+  done;
+  t.live <= 1
+
+let connected_terminals t (c : Csr.t) terminals =
+  round_begin t ~elems:c.Csr.n;
+  Array.iter (fun v -> mark t v) terminals;
+  union_drawn t c

@@ -1,0 +1,141 @@
+(** Flat sampling kernels: the shared allocation-free fast path under
+    every estimator's inner loop (MC, HT, and the S2BDD stratified
+    descents), which all bottom out in "draw one possible graph, test
+    terminal connectivity".
+
+    Three pieces:
+
+    - {!Csr}: an immutable struct-of-arrays snapshot of the graph —
+      edge endpoints, probabilities, and per-vertex adjacency in unboxed
+      [int array]/[float array], indexed by {e position} (edge id for
+      {!Csr.of_graph}, processing-order position for {!Csr.of_order}).
+      This extends the [ord_u]/[ord_v]/[ord_p] idea from the frontier
+      machine to the whole pipeline: hot loops stream flat arrays
+      instead of chasing boxed edge records through closures.
+
+    - Draw loops writing into a reusable scratch ({!t}): one
+      {!Prng.bernoulli} per edge {b in position order} — exactly the
+      stream the pre-kernel samplers consumed, so seeded outputs are
+      bit-identical (the draw-order contract, DESIGN.md section 10).
+      Drawn-present positions are appended to a scratch buffer as they
+      are drawn; the detail variants additionally pack the outcome bits
+      62-per-word for {!Hash64.mask_words} (no [bool array] re-scan)
+      and fold the probability in the same float-operation order as the
+      reference implementations.
+
+    - An early-exit union–find over the drawn-present buffer:
+      generation-stamped (no O(elements) reset per sample) and counting
+      {e live} required components so the union loop stops as soon as
+      the terminals have merged, instead of unioning every present edge
+      and re-checking all terminal pairs at the end. Early exit cannot
+      change the verdict — unions never split components, so once the
+      required-component count reaches 1 it stays there ([live <= 1] is
+      monotone under union).
+
+    The kernel never draws fewer Prng values than the reference (the
+    draw always scans every remaining edge); only the union work is cut
+    short. Differential oracles: [Mcsampling.Reference] and
+    [Fstate.descend_union], kept bit-for-bit compatible and checked by
+    [test/test_kernel.ml] and the [netrel selfcheck] sweep. *)
+
+(** Immutable CSR-style graph snapshot. *)
+module Csr : sig
+  type t = private {
+    n : int;  (** vertex count *)
+    m : int;  (** edge (position) count *)
+    eu : int array;  (** endpoint u by position *)
+    ev : int array;  (** endpoint v by position *)
+    ep : float array;  (** existence probability by position *)
+    off : int array;  (** adjacency offsets, length [n + 1] *)
+    adj_pos : int array;  (** incident positions, CSR-packed *)
+    adj_other : int array;  (** matching opposite endpoints *)
+  }
+
+  val of_graph : Ugraph.t -> t
+  (** Snapshot in natural edge order: position = edge id. *)
+
+  val of_order : Ugraph.t -> order:int array -> t
+  (** Snapshot in processing order: position [i] holds edge
+      [order.(i)]. [order] need not cover every edge id. *)
+
+  val n_vertices : t -> int
+  val n_edges : t -> int
+
+  val iter_incident : t -> int -> (pos:int -> other:int -> unit) -> unit
+  (** Iterate the positions incident to a vertex (self-loops once),
+      mirroring {!Ugraph.iter_incident} in position space. *)
+end
+
+type t
+(** Mutable per-domain scratch: the drawn-present buffer, the packed
+    mask words, and the stamped union–find. Grows on demand and is
+    reused across samples; nothing leaks between samples (the buffers
+    are rewritten per draw, the union–find is invalidated wholesale by
+    bumping its generation stamp). *)
+
+val create : unit -> t
+
+val scratch : unit -> t
+(** The calling domain's scratch (domain-local storage). Samplers and
+    descents share it — safe because a domain runs one task at a time
+    and every round fully re-initialises what it reads. *)
+
+(** {2 Draw loops}
+
+    All variants draw every remaining edge in position order, one
+    {!Prng.bernoulli} (or [bernoulli]) call per edge. *)
+
+val draw : t -> Csr.t -> Prng.t -> unit
+(** MC draw: fill the present buffer only. *)
+
+val draw_prob : t -> Csr.t -> Prng.t -> Xprob.t
+(** HT draw: additionally packs the mask words for {!mask_hash} and
+    returns the possible graph's probability, folded with
+    [Xprob.scale p] / [Xprob.scale (1 - p)] in draw order. *)
+
+val draw_sub : t -> Csr.t -> pos:int -> detail:bool -> bernoulli:(float -> bool) -> float
+(** Descent draw: positions [pos .. m - 1] (the start-position offset of
+    a resumed S2BDD descent). With [~detail:true] also packs the mask
+    words (bit [i] = outcome of position [pos + i]) and returns the
+    completion's log-probability, accumulated as [log p] for existent
+    edges with [p < 1] and [log1p (-p)] for non-existent ones; with
+    [~detail:false] returns [0.]. *)
+
+val n_present : t -> int
+(** Number of present edges in the last draw. *)
+
+val mask_hash : t -> int
+(** 62-bit content hash ({!Hash64.mask_words}) of the last
+    {!draw_prob} / detail {!draw_sub} mask. Digest-identical to
+    {!Hash64.mask} over the corresponding [bool array]. *)
+
+(** {2 Early-exit connectivity rounds}
+
+    A round is: {!round_begin}, then {!mark} every required element
+    (and optionally pre-seed with {!union} — the S2BDD descent anchors
+    frontier components this way), then {!union_drawn}. [live] counts
+    components holding at least one marked element; the terminals are
+    connected exactly when [live <= 1]. *)
+
+val round_begin : t -> elems:int -> unit
+(** Invalidate the union–find and size it for elements
+    [0 .. elems - 1]. O(1) amortised: stamping replaces the O(elems)
+    reset per sample. *)
+
+val mark : t -> int -> unit
+(** Flag an element as required (terminal or terminal-carrying
+    component). *)
+
+val union : t -> int -> int -> unit
+
+val connected : t -> bool
+(** Whether at most one live required component remains. *)
+
+val union_drawn : t -> Csr.t -> bool
+(** Union the endpoints of the drawn-present positions in draw order,
+    stopping as soon as {!connected} holds; returns {!connected}. *)
+
+val connected_terminals : t -> Csr.t -> int array -> bool
+(** One full round: [round_begin] over the graph's vertices, [mark]
+    each terminal, [union_drawn]. The complete MC connectivity check
+    for the last draw. *)

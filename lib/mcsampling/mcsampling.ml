@@ -29,22 +29,8 @@ let trivial_estimate ~jobs value =
   { value; samples_used = 0; hits = 0; distinct = 0; variance_estimate = 0.;
     jobs_used = Par.effective_jobs jobs; chunk_samples = [||] }
 
-(* Per-domain sampling scratch: one edge mask and one union-find reused
-   across every chunk the domain executes. Scratch contents never leak
-   between samples (the mask is fully rewritten per draw, the DSU is
-   reset per connectivity check), so reuse cannot affect results. *)
-type scratch = { mutable present : bool array; mutable dsu : Dsu.t }
-
-let scratch_key : scratch Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { present = [||]; dsu = Dsu.create 0 })
-
-let get_scratch ~n_edges ~n_vertices =
-  let s = Domain.DLS.get scratch_key in
-  if Array.length s.present <> n_edges then s.present <- Array.make n_edges false;
-  if Dsu.size s.dsu <> n_vertices then s.dsu <- Dsu.create n_vertices;
-  s
-
-(* Draw one possible graph into [present]; returns its probability. *)
+(* Draw one possible graph into [present]; returns its probability.
+   Reference path only — the hot loops draw through Kernel. *)
 let draw_sample rng g present =
   let prob = ref Xprob.one in
   Ugraph.iter_edges
@@ -119,11 +105,12 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
   end
   else
     Obs.time o "total" @@ fun () ->
-    let m = Ugraph.n_edges g in
-    let n = Ugraph.n_vertices g in
+    let csr = Kernel.Csr.of_graph g in
+    let term_arr = Array.of_list terminals in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
     let lanes = Par.effective_jobs jobs in
+    let t_kernel = Obs.now obs in
     let chunk_hits =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
           let tr = Trace.task trace ~lane:(i mod lanes) in
@@ -131,22 +118,18 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
-          let s = get_scratch ~n_edges:m ~n_vertices:n in
-          let present = s.present and dsu = s.dsu in
+          let sc = Kernel.scratch () in
           let hits = ref 0 in
           for _ = 1 to len do
-            Ugraph.iter_edges
-              (fun eid (e : Ugraph.edge) -> present.(eid) <- Prng.bernoulli rng e.p)
-              g;
-            if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
-                 terminals
-            then incr hits
+            Kernel.draw sc csr rng;
+            if Kernel.connected_terminals sc csr term_arr then incr hits
           done;
           Trace.complete tr ~ts "mc.chunk"
             ~args:
               [ ("chunk", Int i); ("samples", Int len); ("hits", Int !hits) ];
           (!hits, Obs.now obs -. t0, tr))
     in
+    let kernel_secs = Obs.now obs -. t_kernel in
     (* Ordered reduction: integer hits fold in chunk order (associative
        here, but the convention keeps every reducer shape-identical);
        per-task trace buffers fold back in the same order. *)
@@ -162,6 +145,9 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
     Obs.add o "samples" samples;
     Obs.add o "hits" hits;
     Obs.add o "connectivity_checks" samples;
+    Obs.add o "kernel.samples" samples;
+    Obs.gauge o "kernel.samples_per_sec"
+      (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
     emit_estimate trace
       {
         value;
@@ -184,16 +170,19 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
   end
   else
     Obs.time o "total" @@ fun () ->
-    let m = Ugraph.n_edges g in
-    let n = Ugraph.n_vertices g in
+    let csr = Kernel.Csr.of_graph g in
+    let term_arr = Array.of_list terminals in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
     let lanes = Par.effective_jobs jobs in
     (* Stage 1 (parallel): each chunk dedups its own draws. A chunk's
        table records hash -> (probability, connected) for the chunk's
-       distinct masks, plus the first-occurrence order so the merge
-       below is deterministic by construction rather than by hash-table
-       layout. Connectivity runs once per chunk-distinct mask. *)
+       distinct masks (sized by the chunk length — the only masks it
+       can hold), plus the first-occurrence order in a flat array so
+       the merge below is deterministic by construction rather than by
+       hash-table layout. Connectivity runs once per chunk-distinct
+       mask. *)
+    let t_kernel = Obs.now obs in
     let chunk_tables =
       Par.run_jobs ~jobs (Array.length chunks) (fun i ->
           let tr = Trace.task trace ~lane:(i mod lanes) in
@@ -201,20 +190,18 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
-          let s = get_scratch ~n_edges:m ~n_vertices:n in
-          let present = s.present and dsu = s.dsu in
+          let sc = Kernel.scratch () in
           let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
-          let order = ref [] in
+          let order = Array.make len 0 in
+          let n_order = ref 0 in
           for _ = 1 to len do
-            let prob = draw_sample rng g present in
-            let h = mask_hash present m in
+            let prob = Kernel.draw_prob sc csr rng in
+            let h = Kernel.mask_hash sc in
             if not (Hashtbl.mem seen h) then begin
-              let connected =
-                Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
-                  terminals
-              in
+              let connected = Kernel.connected_terminals sc csr term_arr in
               Hashtbl.add seen h (prob, connected);
-              order := h :: !order
+              order.(!n_order) <- h;
+              incr n_order
             end
           done;
           Trace.complete tr ~ts "ht.chunk"
@@ -225,55 +212,63 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
                 ("unique", Int (Hashtbl.length seen));
                 ("drawn", Int len);
               ];
-          (seen, List.rev !order, Obs.now obs -. t0, tr))
+          (seen, order, !n_order, Obs.now obs -. t0, tr))
     in
+    let kernel_secs = Obs.now obs -. t_kernel in
     (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk
        order, keeping the first occurrence of every hash — exactly what
        a sequential single pass over all samples would keep, since
        chunk order is sample order. The surviving entries, enumerated
        in global first-occurrence order, drive the pi-weighted sum, so
-       the float accumulation order is fixed. *)
-    let entries =
+       the float accumulation order is fixed. The sum of per-chunk
+       distinct counts bounds the merged count, so one exact-capacity
+       array (cursor-filled) replaces the old list accumulator, and the
+       dedup table is sized by that bound instead of [samples]. *)
+    let entries, n_entries =
       Trace.span trace "ht.merge" @@ fun () ->
       Obs.time o "merge" @@ fun () ->
-      let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
-      let entries = ref [] in
+      let bound =
+        Array.fold_left
+          (fun acc (_, _, n_order, _, _) -> acc + n_order)
+          0 chunk_tables
+      in
+      let merged : (int, unit) Hashtbl.t = Hashtbl.create bound in
+      let entries = Array.make (max bound 1) (Xprob.one, false) in
+      let cursor = ref 0 in
       Array.iter
-        (fun (tab, order, dt, tr) ->
+        (fun (tab, order, n_order, dt, tr) ->
           Obs.record_span o "chunk" dt;
           Trace.merge ~into:trace tr;
-          List.iter
-            (fun h ->
-              if not (Hashtbl.mem merged h) then begin
-                Hashtbl.add merged h ();
-                entries := Hashtbl.find tab h :: !entries
-              end)
-            order)
+          for j = 0 to n_order - 1 do
+            let h = order.(j) in
+            if not (Hashtbl.mem merged h) then begin
+              Hashtbl.add merged h ();
+              entries.(!cursor) <- Hashtbl.find tab h;
+              incr cursor
+            end
+          done)
         chunk_tables;
-      List.rev !entries
+      (entries, !cursor)
     in
-    let hits =
-      List.fold_left (fun acc (_, connected) -> if connected then acc + 1 else acc)
-        0 entries
-    in
-    let value =
-      List.fold_left
-        (fun acc (q, connected) ->
-          if connected then acc +. ht_weight_x q samples else acc)
-        0. entries
-    in
-    (* Plug-in variance, Equation (8): the first term uses the estimate,
-       the correction subtracts the squared sample probabilities of
-       connected samples. *)
+    (* One pass over the merged entries with one accumulator per
+       quantity: each accumulator folds in entry order, so the float
+       accumulation matches the former three-fold formulation
+       bit-for-bit. The correction is the Equation-(8) term subtracting
+       the squared sample probabilities of connected samples. *)
     let s_f = float_of_int samples in
-    let correction =
-      List.fold_left
-        (fun acc (q, connected) ->
-          if connected then
-            acc +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
-          else acc)
-        0. entries
-    in
+    let hits = ref 0 in
+    let value = ref 0. in
+    let correction = ref 0. in
+    for j = 0 to n_entries - 1 do
+      let q, connected = entries.(j) in
+      if connected then begin
+        incr hits;
+        value := !value +. ht_weight_x q samples;
+        correction :=
+          !correction +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
+      end
+    done;
+    let hits = !hits and value = !value and correction = !correction in
     let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
     (* The plug-in can go negative (the correction is only an estimate
        of the covariance term); the clamp below keeps the reported
@@ -284,12 +279,15 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
       Obs.incr o "variance_clamped";
       Obs.gauge o "raw_variance" v
     end;
-    let distinct = List.length entries in
+    let distinct = n_entries in
     Obs.add o "samples" samples;
     Obs.add o "hits" hits;
     Obs.add o "distinct" distinct;
     Obs.add o "connectivity_checks" distinct;
     Obs.gauge o "dedup_ratio" (float_of_int distinct /. float_of_int samples);
+    Obs.add o "kernel.samples" samples;
+    Obs.gauge o "kernel.samples_per_sec"
+      (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
     emit_estimate trace
       {
         value;
@@ -300,3 +298,135 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         jobs_used = Par.effective_jobs jobs;
         chunk_samples = Array.map snd chunks;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Retained reference implementation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-kernel sampling path, kept as the differential oracle for
+   the flat kernels: boxed-edge iteration into a [bool array] mask,
+   full-reset union-find over every present edge
+   (Connectivity.terminals_connected_dsu), bool-array mask hashing, and
+   the list-accumulating HT merge. Sequential (chunk loop on the
+   calling domain) but chunked and split-streamed exactly like the
+   kernel path, so for a fixed seed the estimates must be BIT-IDENTICAL
+   to monte_carlo / horvitz_thompson at every jobs value. The kernel
+   equivalence qcheck suite (test_kernel.ml), the bench `kernels`
+   section, and the selfcheck oracle sweep all compare against this
+   module. *)
+module Reference = struct
+  let monte_carlo ?(seed = 1) g ~terminals ~samples =
+    validate g ~terminals ~samples ~jobs:1;
+    if List.length terminals < 2 then trivial_estimate ~jobs:1 1.
+    else begin
+      let m = Ugraph.n_edges g in
+      let n = Ugraph.n_vertices g in
+      let chunks = Par.chunks ~total:samples ~target:chunk_target in
+      let rngs = chunk_streams ~seed (Array.length chunks) in
+      let present = Array.make m false in
+      let dsu = Dsu.create n in
+      let hits = ref 0 in
+      Array.iteri
+        (fun i (_, len) ->
+          let rng = rngs.(i) in
+          for _ = 1 to len do
+            Ugraph.iter_edges
+              (fun eid (e : Ugraph.edge) ->
+                present.(eid) <- Prng.bernoulli rng e.p)
+              g;
+            if Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
+                 terminals
+            then incr hits
+          done)
+        chunks;
+      let hits = !hits in
+      let value = float_of_int hits /. float_of_int samples in
+      {
+        value;
+        samples_used = samples;
+        hits;
+        distinct = 0;
+        variance_estimate = value *. (1. -. value) /. float_of_int samples;
+        jobs_used = Par.effective_jobs 1;
+        chunk_samples = Array.map snd chunks;
+      }
+    end
+
+  let horvitz_thompson ?(seed = 1) g ~terminals ~samples =
+    validate g ~terminals ~samples ~jobs:1;
+    if List.length terminals < 2 then trivial_estimate ~jobs:1 1.
+    else begin
+      let m = Ugraph.n_edges g in
+      let n = Ugraph.n_vertices g in
+      let chunks = Par.chunks ~total:samples ~target:chunk_target in
+      let rngs = chunk_streams ~seed (Array.length chunks) in
+      let present = Array.make m false in
+      let dsu = Dsu.create n in
+      let chunk_tables =
+        Array.mapi
+          (fun i (_, len) ->
+            let rng = rngs.(i) in
+            let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
+            let order = ref [] in
+            for _ = 1 to len do
+              let prob = draw_sample rng g present in
+              let h = mask_hash present m in
+              if not (Hashtbl.mem seen h) then begin
+                let connected =
+                  Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present
+                    terminals
+                in
+                Hashtbl.add seen h (prob, connected);
+                order := h :: !order
+              end
+            done;
+            (seen, List.rev !order))
+          chunks
+      in
+      let entries =
+        let merged : (int, unit) Hashtbl.t = Hashtbl.create samples in
+        let entries = ref [] in
+        Array.iter
+          (fun (tab, order) ->
+            List.iter
+              (fun h ->
+                if not (Hashtbl.mem merged h) then begin
+                  Hashtbl.add merged h ();
+                  entries := Hashtbl.find tab h :: !entries
+                end)
+              order)
+          chunk_tables;
+        List.rev !entries
+      in
+      let hits =
+        List.fold_left
+          (fun acc (_, connected) -> if connected then acc + 1 else acc)
+          0 entries
+      in
+      let value =
+        List.fold_left
+          (fun acc (q, connected) ->
+            if connected then acc +. ht_weight_x q samples else acc)
+          0. entries
+      in
+      let s_f = float_of_int samples in
+      let correction =
+        List.fold_left
+          (fun acc (q, connected) ->
+            if connected then
+              acc +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
+            else acc)
+          0. entries
+      in
+      let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
+      {
+        value;
+        samples_used = samples;
+        hits;
+        distinct = List.length entries;
+        variance_estimate = Float.max 0. v;
+        jobs_used = Par.effective_jobs 1;
+        chunk_samples = Array.map snd chunks;
+      }
+    end
+end

@@ -15,8 +15,13 @@
     the chunks: {b for a fixed [seed] and [samples] the returned
     estimate is bit-identical at every [jobs] value} (including the
     sequential [jobs = 1] fast path, which runs the same chunked code
-    on the calling domain). Each domain reuses one edge-mask and one
-    union–find scratch across the chunks it executes.
+    on the calling domain). Each domain draws through the flat sampling
+    kernel ({!Kernel}): a CSR snapshot of the graph plus one reusable
+    per-domain scratch holding the drawn-present buffer, the packed mask
+    words, and the early-exit union–find. The kernel consumes the exact
+    same Prng stream in the exact same order as the retained
+    {!Reference} implementations, so moving the hot loops onto it
+    changed throughput, not results.
 
     {2 Instrumentation}
 
@@ -24,7 +29,10 @@
     prefix: counters [samples], [hits], [connectivity_checks] (and, for
     HT, [distinct] plus a [dedup_ratio] gauge), per-chunk spans on the
     [chunk] timer, a [total] timer, and for HT a [merge] timer around
-    the ordered table merge. They also accept a {!Trace.t} and stream
+    the ordered table merge. The kernel fast path additionally records a
+    [kernel.samples] counter and a [kernel.samples_per_sec] gauge
+    (throughput over the parallel sampling region; [0.] under a fake
+    clock). They also accept a {!Trace.t} and stream
     one [mc.chunk] / [ht.chunk] span per chunk (recorded into a
     per-task buffer on lane [chunk mod jobs] and merged back in chunk
     order, per the {!Trace} lane contract; HT chunks carry
@@ -109,3 +117,21 @@ val horvitz_thompson :
     twice (same result) but counted once.
 
     @raise Invalid_argument as for {!monte_carlo}. *)
+
+(** The pre-kernel sampling paths, retained verbatim as the
+    differential oracle for the flat kernels: boxed-edge iteration into
+    a [bool array] mask, full-reset union–find connectivity, bool-array
+    mask hashing, and the list-accumulating HT merge. Sequential, but
+    chunked and split-streamed identically to the kernel path — for a
+    fixed seed the estimates are bit-identical to {!monte_carlo} /
+    {!horvitz_thompson} at every [jobs] value. Exercised by
+    [test/test_kernel.ml], the bench [kernels] section, and the
+    [netrel selfcheck] oracle sweep; not instrumented and not meant for
+    production use. *)
+module Reference : sig
+  val monte_carlo :
+    ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+
+  val horvitz_thompson :
+    ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+end

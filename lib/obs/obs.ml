@@ -432,7 +432,8 @@ let series_values t name =
 let merge ~into src =
   if into.on && src.on then begin
     let keys =
-      Hashtbl.fold (fun k _ acc -> k :: acc) src.cells [] |> List.sort compare
+      Hashtbl.fold (fun k _ acc -> k :: acc) src.cells []
+      |> List.sort String.compare
     in
     List.iter
       (fun k ->
@@ -467,7 +468,7 @@ let cell_json = function
 let to_json t =
   let entries =
     Hashtbl.fold (fun k c acc -> (String.split_on_char '.' k, c) :: acc) t.cells []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> List.compare String.compare a b)
   in
   (* Group sorted dotted paths into a nested object tree. *)
   let rec build entries =

@@ -226,7 +226,7 @@ let lane_name lane =
 
 let metadata_json all_events =
   let lanes =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.map (fun (ev : event) -> ev.lane) all_events)
   in
   let meta name tid args =

@@ -45,7 +45,14 @@ let preferential_attachment ~seed ~n ~edges_per_vertex =
     done
   done;
   let pairs = Hashtbl.fold (fun k a acc -> (k, a) :: acc) multiplicity [] in
-  let pairs = List.sort compare pairs in
+  (* Keys (vertex pairs) are unique in [multiplicity], so a key-only
+     comparator reproduces the polymorphic sort order exactly. *)
+  let pairs =
+    List.sort
+      (fun ((a, b), _) ((c, d), _) ->
+        match Int.compare a c with 0 -> Int.compare b d | e -> e)
+      pairs
+  in
   let edges =
     List.map (fun ((u, v), _) -> { Ugraph.u; v; p = 0.5 }) pairs
   in

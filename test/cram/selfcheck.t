@@ -6,10 +6,10 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
 
   $ netrel selfcheck --trials 3 --seed 1
   selfcheck: seed=1 trials=3 jobs=1,2,8
-    oracle       cases=18   checks=792   violations=0   skipped=0
+    oracle       cases=18   checks=828   violations=0   skipped=0
     metamorphic  cases=27   checks=117   violations=0   skipped=0
     calibration  cases=4    checks=4     violations=0   skipped=0
-  result: OK (49 cases, 913 checks, 0 violations)
+  result: OK (49 cases, 949 checks, 0 violations)
 
   $ netrel selfcheck --trials 3 --seed 1 --json
   {
@@ -31,7 +31,7 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
       {
         "name": "oracle",
         "cases": 18,
-        "checks": 792,
+        "checks": 828,
         "violations": 0,
         "skipped": 0
       },
@@ -53,7 +53,7 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
     "violations": [],
     "result": {
       "cases": 49,
-      "checks": 913,
+      "checks": 949,
       "violations": 0,
       "ok": true
     }

@@ -21,4 +21,5 @@ let () =
       Test_obs.suite;
       Test_trace.suite;
       Test_check.suite;
+      Test_kernel.suite;
     ]
