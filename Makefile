@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced clean
 
 build:
 	dune build
@@ -37,6 +37,16 @@ bench-smoke:
 # seconds in BENCH_parallel.json). Also runs under `dune runtest`.
 bench-kernels:
 	dune exec bench/main.exe -- --only kernels --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Bit-sliced (62 worlds per word) vs flat sampling kernel at jobs = 1,
+# emitting the self-validated BENCH_bitsliced.json at the repo root —
+# the tracked word-parallel speedup artifact (compare the two modes'
+# sampling.kernel.samples_per_sec; every document also pins
+# sampling.kernel.mode to the mode that actually ran). Also runs under
+# `dune runtest`.
+bench-bitsliced:
+	dune exec bench/main.exe -- --only bitsliced --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

@@ -771,6 +771,106 @@ let kernels cfg =
     datasets;
   emit_json cfg ~section:"kernels" ~trace:tr (List.rev !stats_docs)
 
+(* ---- Bitsliced: 62-world bit-parallel sampling vs the flat kernel ---- *)
+
+(* The bitsliced rows must also prove which kernel actually ran: a stats
+   document that silently fell back to the flat path would make the
+   throughput comparison meaningless, so sampling.kernel.mode is read
+   back and matched against the requested mode. *)
+let assert_kernel_mode ~method_name ~expect doc =
+  match J.member "sampling" doc with
+  | None -> failwith (Printf.sprintf "stats doc for %s missing sampling" method_name)
+  | Some sampling -> (
+    match J.member "kernel" sampling with
+    | None ->
+      failwith (Printf.sprintf "stats doc for %s missing sampling.kernel" method_name)
+    | Some kern -> (
+      match J.member "mode" kern with
+      | Some (J.Str m) when m = expect -> ()
+      | Some (J.Str m) ->
+        failwith
+          (Printf.sprintf "stats doc for %s: sampling.kernel.mode = %S, expected %S"
+             method_name m expect)
+      | _ ->
+        failwith
+          (Printf.sprintf "stats doc for %s missing sampling.kernel.mode" method_name)))
+
+let bitsliced cfg =
+  banner "Bitsliced: 62-world bit-parallel sampling vs the flat kernel"
+    "One Bitbatch draw fills a 62-lane slab word per edge; connectivity\n\
+     peels lanes into the shared early-exit union-find after word-wide\n\
+     agreement sweeps. Estimates are statistically exchangeable with the\n\
+     flat kernel but NOT bit-identical (each mode owns its stream\n\
+     discipline; bit-identity holds across jobs within a mode only).\n\
+     Speedup = flat time / bitsliced time at jobs = 1; both modes'\n\
+     sampling.kernel.{mode,samples_per_sec} land in BENCH_bitsliced.json.";
+  let s = if cfg.quick then 10_000 else 40_000 in
+  let k = 10 in
+  let datasets =
+    let karate = D.karate ~seed:cfg.seed () in
+    if cfg.quick then [ karate ]
+    else karate :: D.large ~seed:cfg.seed ~scale:cfg.scale ()
+  in
+  let stats_docs = ref [] in
+  let tr = section_trace cfg in
+  List.iter
+    (fun (d : D.t) ->
+      let g = d.D.graph in
+      let ts = terminals cfg ~search:1 g ~k in
+      Printf.printf "--- %s (s = %d, k = %d, jobs = 1) ---\n" d.D.abbr s k;
+      Printf.printf "%-13s %14s %14s %10s %10s %8s %11s\n" "Method" "R flat"
+        "R bitsliced" "flat" "bitsliced" "speedup" "samples/s";
+      let row name flat bits =
+        let fe, ft = Relstats.time flat in
+        let be, bt = Relstats.time bits in
+        Printf.printf "%-13s %14.8f %14.8f %10s %10s %7.1fx %11.0f\n" name
+          fe.Mcsampling.value be.Mcsampling.value
+          (Relstats.format_seconds ft)
+          (Relstats.format_seconds bt)
+          (ft /. bt)
+          (if bt > 0. then float_of_int s /. bt else 0.)
+      in
+      row "Sampling(MC)"
+        (fun () ->
+          Mcsampling.monte_carlo ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+            ~samples:s)
+        (fun () ->
+          Mcsampling.monte_carlo ~seed:cfg.seed ~jobs:1
+            ~kernel:Mcsampling.Bitsliced g ~terminals:ts ~samples:s);
+      row "Sampling(HT)"
+        (fun () ->
+          Mcsampling.horvitz_thompson ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+            ~samples:s)
+        (fun () ->
+          Mcsampling.horvitz_thompson ~seed:cfg.seed ~jobs:1
+            ~kernel:Mcsampling.Bitsliced g ~terminals:ts ~samples:s);
+      print_newline ();
+      if cfg.json || cfg.trace then begin
+        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let mode_doc method_name ~kernel ~expect run =
+          let doc =
+            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr
+              (fun ~obs ~trace -> SD.result_of_estimate (run ~obs ~trace ~kernel))
+          in
+          assert_kernel_counters ~method_name doc;
+          assert_kernel_mode ~method_name ~expect doc;
+          add doc
+        in
+        let mc ~obs ~trace ~kernel =
+          Mcsampling.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 ~kernel g
+            ~terminals:ts ~samples:s
+        and ht ~obs ~trace ~kernel =
+          Mcsampling.horvitz_thompson ~obs ~trace ~seed:cfg.seed ~jobs:1
+            ~kernel g ~terminals:ts ~samples:s
+        in
+        mode_doc "flat-mc" ~kernel:Mcsampling.Flat ~expect:"flat" mc;
+        mode_doc "bitsliced-mc" ~kernel:Mcsampling.Bitsliced ~expect:"bitsliced" mc;
+        mode_doc "flat-ht" ~kernel:Mcsampling.Flat ~expect:"flat" ht;
+        mode_doc "bitsliced-ht" ~kernel:Mcsampling.Bitsliced ~expect:"bitsliced" ht
+      end)
+    datasets;
+  emit_json cfg ~section:"bitsliced" ~trace:tr (List.rev !stats_docs)
+
 let all_sections =
   [
     ("table2", table2);
@@ -786,4 +886,5 @@ let all_sections =
     ("ablation_exact", ablation_exact);
     ("parallel", parallel);
     ("kernels", kernels);
+    ("bitsliced", bitsliced);
   ]

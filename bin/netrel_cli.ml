@@ -147,6 +147,20 @@ let method_conv =
         | Pro -> "pro" | Sampling_mc -> "sampling-mc" | Sampling_ht -> "sampling-ht"
         | Bdd -> "bdd" | Brute -> "brute"))
 
+let kernel_arg =
+  let doc = "Sampling draw kernel for $(b,sampling-mc) / $(b,sampling-ht): \
+             $(b,flat) (scalar draw, default) or $(b,bitsliced) \
+             (word-parallel, 62 worlds per pass). Either kernel is \
+             bit-identical to itself at every --jobs value, but the two \
+             consume the seed's random streams differently, so estimates \
+             agree statistically — not byte-for-byte — across kernels. \
+             Ignored by the other methods." in
+  Arg.(value
+       & opt (enum [ ("flat", Mcsampling.Flat);
+                     ("bitsliced", Mcsampling.Bitsliced) ])
+           Mcsampling.Flat
+       & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 (* --stats json: run the chosen method under a live observer and emit
    one structured stats document (Statsdoc) on stdout in place of the
    human-readable report. The observer never touches random streams,
@@ -154,7 +168,7 @@ let method_conv =
    NETREL_FAKE_CLOCK set the whole document is byte-stable in the
    seed (the cram test exercises exactly that). *)
 let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
-    ~jobs ~trace =
+    ~jobs ~kernel ~trace =
   let module SD = Netrel.Statsdoc in
   let obs = Obs.create () in
   let t0 = Obs.now obs in
@@ -169,13 +183,14 @@ let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
       ((if ht then "pro-ht" else "pro"), SD.result_of_report rep)
     | Sampling_mc ->
       let est =
-        Mcsampling.monte_carlo ~obs ~trace ~seed ~jobs g ~terminals:ts ~samples
+        Mcsampling.monte_carlo ~obs ~trace ~seed ~jobs ~kernel g ~terminals:ts
+          ~samples
       in
       ("sampling-mc", SD.result_of_estimate est)
     | Sampling_ht ->
       let est =
-        Mcsampling.horvitz_thompson ~obs ~trace ~seed ~jobs g ~terminals:ts
-          ~samples
+        Mcsampling.horvitz_thompson ~obs ~trace ~seed ~jobs ~kernel g
+          ~terminals:ts ~samples
       in
       ("sampling-ht", SD.result_of_estimate est)
     | Bdd -> (
@@ -231,7 +246,8 @@ let estimate_cmd =
          & info [ "stats" ] ~docv:"FORMAT" ~doc)
   in
   let run verbose file dataset seed scale terminals k samples width ht no_ext
-      method_ jobs stats trace_file trace_format progress = guarded @@ fun () ->
+      method_ jobs kernel stats trace_file trace_format progress =
+    guarded @@ fun () ->
     check_jobs jobs;
     let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
     let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
@@ -270,7 +286,7 @@ let estimate_cmd =
     Fun.protect ~finally:finalize @@ fun () ->
     match stats with
     | `Json -> run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext
-                 ~method_ ~jobs ~trace
+                 ~method_ ~jobs ~kernel ~trace
     | `None ->
     Printf.printf "graph %s: %s\nterminals: [%s]\n" name
       (Format.asprintf "%a" Ugraph.pp_stats g)
@@ -295,7 +311,8 @@ let estimate_cmd =
       let f = if method_ = Sampling_mc then Mcsampling.monte_carlo
               else Mcsampling.horvitz_thompson in
       let est, dt =
-        Relstats.time (fun () -> f ~trace ~seed ~jobs g ~terminals:ts ~samples)
+        Relstats.time (fun () ->
+            f ~trace ~seed ~jobs ~kernel g ~terminals:ts ~samples)
       in
       Printf.printf "R = %.10g  (%d samples, %d hits)\ntime: %s\n"
         est.Mcsampling.value est.Mcsampling.samples_used est.Mcsampling.hits
@@ -322,7 +339,8 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
           $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_
-          $ jobs_arg $ stats_fmt $ trace_arg $ trace_format_arg $ progress_arg)
+          $ jobs_arg $ kernel_arg $ stats_fmt $ trace_arg $ trace_format_arg
+          $ progress_arg)
 
 (* ---- stats ---- *)
 

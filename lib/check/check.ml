@@ -233,6 +233,26 @@ let oracle_case t trace ~jobs (c : Shapes.case) ~seed ~rex =
   in
   sampler_checks t ~tag:"ht" ~case ~artifact ~rex ~upper_capped:false
     ~tol:ht_accuracy_tol ht_results;
+  (* The bit-sliced kernel draws different possible graphs from the
+     same seed (one batch stream feeds 62 worlds), so there is no
+     cross-mode bit-identity to pin; it must instead satisfy the same
+     estimator invariants as the flat mode — jobs-bit-identity within
+     the mode, range, non-negative variance, and agreement with the
+     exact oracle at the sampling tolerance. *)
+  let mc_bitsliced_results =
+    per_jobs (fun j ->
+        Mcsampling.monte_carlo ~seed ~jobs:j ~kernel:Mcsampling.Bitsliced g
+          ~terminals ~samples:oracle_samples)
+  in
+  sampler_checks t ~tag:"mc-bitsliced" ~case ~artifact ~rex ~upper_capped:true
+    ~tol:mc_accuracy_tol mc_bitsliced_results;
+  let ht_bitsliced_results =
+    per_jobs (fun j ->
+        Mcsampling.horvitz_thompson ~seed ~jobs:j
+          ~kernel:Mcsampling.Bitsliced g ~terminals ~samples:oracle_samples)
+  in
+  sampler_checks t ~tag:"ht-bitsliced" ~case ~artifact ~rex
+    ~upper_capped:false ~tol:ht_accuracy_tol ht_bitsliced_results;
   (* Differential oracle for the flat sampling kernels: the retained
      pre-kernel implementations must reproduce the kernel-path
      estimates bit for bit (same seed, same chunking, same draws). *)
@@ -412,7 +432,43 @@ let metamorphic_case t rng (c : Shapes.case) ~rex =
     check t ~invariant:"metamorphic.extension-exactness" ~case ~artifact
       (close r rex eps_exact)
       (fun () ->
-        Printf.sprintf "extension pipeline exact %.17g vs raw BDD %.17g" r rex))
+        Printf.sprintf "extension pipeline exact %.17g vs raw BDD %.17g" r rex));
+  (* Relabeling worlds: lane [l] of the bit-sliced verdict word depends
+     only on bit [l] of every slab word, so permuting the 62 bit-lanes
+     of a drawn slab must permute the verdict bits identically — the
+     kernel may not couple worlds that share a batch. *)
+  let lanes = Prng.Bitbatch.lanes in
+  let csr = Kernel.Csr.of_graph c.Shapes.graph in
+  let sc = Kernel.create () in
+  let slab_seed = case_seed rng in
+  let terminals = Array.of_list c.Shapes.terminals in
+  Kernel.draw_bitsliced sc csr (Prng.create slab_seed);
+  let before =
+    Kernel.connected_lanes sc csr terminals ~active:Prng.Bitbatch.all
+  in
+  let perm = Array.init lanes (fun l -> l) in
+  Prng.shuffle rng perm;
+  for pos = 0 to Kernel.Csr.n_edges csr - 1 do
+    let w = Kernel.slab_word sc pos in
+    let w' = ref 0 in
+    for l = 0 to lanes - 1 do
+      if (w lsr l) land 1 = 1 then w' := !w' lor (1 lsl perm.(l))
+    done;
+    Kernel.set_slab_word sc pos !w'
+  done;
+  let after =
+    Kernel.connected_lanes sc csr terminals ~active:Prng.Bitbatch.all
+  in
+  let permuted_ok = ref true in
+  for l = 0 to lanes - 1 do
+    if (after lsr perm.(l)) land 1 <> (before lsr l) land 1 then
+      permuted_ok := false
+  done;
+  check t ~invariant:"metamorphic.lane-permutation" ~case
+    ~artifact:(artifact ^ Printf.sprintf "slab seed %d\n" slab_seed)
+    !permuted_ok
+    (fun () ->
+      Printf.sprintf "permuted verdict %#x vs original %#x" after before)
 
 let metamorphic_bridge t rng (c1, r1) (c2, r2) =
   let pb, g, terminals = bridge_join rng c1 c2 in
@@ -522,6 +578,20 @@ let calibration t rng ~trials =
     (calibrate "ht" (fun g ~terminals ~seed ->
          Mcsampling.horvitz_thompson ~seed g ~terminals
            ~samples:calibration_samples))
+    ht_calibration_cases;
+  (* Lanes of one batch word are driven by disjoint bit positions of
+     the shared random words, so the 62 worlds are mutually independent
+     and the CI theory above carries over to the bit-sliced kernel
+     unchanged — coverage is re-tested rather than assumed. *)
+  List.iter
+    (calibrate "mc-bitsliced" (fun g ~terminals ~seed ->
+         Mcsampling.monte_carlo ~seed ~kernel:Mcsampling.Bitsliced g
+           ~terminals ~samples:calibration_samples))
+    mc_calibration_cases;
+  List.iter
+    (calibrate "ht-bitsliced" (fun g ~terminals ~seed ->
+         Mcsampling.horvitz_thompson ~seed ~kernel:Mcsampling.Bitsliced g
+           ~terminals ~samples:calibration_samples))
     ht_calibration_cases
 
 (* ------------------------------------------------------------------ *)

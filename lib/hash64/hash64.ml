@@ -55,10 +55,12 @@ let mask present m =
    stream flushes exactly once per full 62-bit word plus once for a
    trailing partial word — i.e. once per packed word — and then folds
    the bit count, which is what the loop below replays. *)
-let mask_words words ~bits =
+let mask_words_sub words ~off ~bits =
   let nw = (bits + word_bits - 1) / word_bits in
   let h = ref seed in
   for i = 0 to nw - 1 do
-    h := mix64 (Int64.logxor !h (Int64.of_int words.(i)))
+    h := mix64 (Int64.logxor !h (Int64.of_int words.(off + i)))
   done;
   Int64.to_int (mix64 (Int64.logxor !h (Int64.of_int bits))) land max_int
+
+let mask_words words ~bits = mask_words_sub words ~off:0 ~bits

@@ -33,6 +33,12 @@ val mask_words : int array -> bits:int -> int
     callers that pack words during the draw instead of re-scanning a
     [bool array]. *)
 
+val mask_words_sub : int array -> off:int -> bits:int -> int
+(** [mask_words_sub words ~off ~bits] is {!mask_words} over the packed
+    words starting at index [off] — the row-addressed variant for
+    callers holding many masks in one flat slab (the bit-sliced
+    kernel's transposed world masks). [mask_words] is [~off:0]. *)
+
 val mask : bool array -> int -> int
 (** [mask present m] hashes the first [m] entries of [present] (packed
     LSB-first into 62-bit words) to a non-negative 62-bit native int.

@@ -71,6 +71,30 @@ module Csr = struct
     done
 end
 
+(* Bit-matrix transposition between the two packed layouts the kernels
+   use: edge-major (one word per edge, bit = world — the bit-sliced
+   draw slab) and world-major (one row of packed words per world — the
+   layout Hash64 digests). Rows and columns are both packed LSB-first,
+   Hash64.word_bits per word, rows padded to whole words. *)
+module Bitslab = struct
+  let word_bits = Hash64.word_bits
+  let words_per_row ~cols = (cols + word_bits - 1) / word_bits
+
+  let transpose ~src ~rows ~cols ~dst =
+    let wpr_s = words_per_row ~cols and wpr_d = words_per_row ~cols:rows in
+    Array.fill dst 0 (cols * wpr_d) 0;
+    for r = 0 to rows - 1 do
+      let base = r * wpr_s in
+      for c = 0 to cols - 1 do
+        if (src.(base + (c / word_bits)) lsr (c mod word_bits)) land 1 = 1
+        then begin
+          let d = (c * wpr_d) + (r / word_bits) in
+          dst.(d) <- dst.(d) lor (1 lsl (r mod word_bits))
+        end
+      done
+    done
+end
+
 type t = {
   (* Draw buffers. [present] holds the drawn-present positions of the
      last draw; [words] the packed mask bits of the last detail draw. *)
@@ -78,6 +102,19 @@ type t = {
   mutable n_present : int;
   mutable words : int array;
   mutable mask_bits : int;
+  (* Bit-sliced draw buffers. [slab.(pos)] holds the last
+     [draw_bitsliced]'s outcome bits for edge [pos], one bit-lane per
+     world; [tmask] is its world-major transpose ([transpose_worlds]),
+     [tmask_wpr] packed words per world row. *)
+  mutable slab : int array;
+  mutable slab_edges : int;
+  mutable tmask : int array;
+  mutable tmask_wpr : int;
+  (* The snapshot the last draw ran against. Draw buffers hold
+     *positions*, which are only meaningful against that snapshot:
+     connectivity entry points reject any other Csr instead of
+     silently unioning garbage endpoints. *)
+  mutable drawn_for : Csr.t;
   (* Generation-stamped union-find: an element whose [stamp] is not the
      current [gen] is an untouched singleton. [round_begin] bumps [gen]
      instead of resetting the arrays, so starting a round costs O(1)
@@ -91,12 +128,23 @@ type t = {
   mutable live : int;
 }
 
+(* A Csr no caller can hold: fresh scratch rejects connectivity calls
+   until its first draw. Compared by physical identity only. *)
+let no_draw_yet : Csr.t =
+  { Csr.n = 0; m = 0; eu = [||]; ev = [||]; ep = [||]; off = [| 0 |];
+    adj_pos = [||]; adj_other = [||] }
+
 let create () =
   {
     present = [||];
     n_present = 0;
     words = [||];
     mask_bits = 0;
+    slab = [||];
+    slab_edges = 0;
+    tmask = [||];
+    tmask_wpr = 0;
+    drawn_for = no_draw_yet;
     parent = [||];
     rank = [||];
     tcnt = [||];
@@ -128,7 +176,8 @@ let draw t (c : Csr.t) rng =
       incr np
     end
   done;
-  t.n_present <- !np
+  t.n_present <- !np;
+  t.drawn_for <- c
 
 let draw_prob t (c : Csr.t) rng =
   let m = c.Csr.m in
@@ -160,6 +209,7 @@ let draw_prob t (c : Csr.t) rng =
   if !nbits > 0 then words.(!w) <- !acc;
   t.n_present <- !np;
   t.mask_bits <- m;
+  t.drawn_for <- c;
   !prob
 
 let draw_sub t (c : Csr.t) ~pos ~detail ~bernoulli =
@@ -202,10 +252,45 @@ let draw_sub t (c : Csr.t) ~pos ~detail ~bernoulli =
       end
     done;
   t.n_present <- !np;
+  t.drawn_for <- c;
   !logq
 
 let n_present t = t.n_present
 let mask_hash t = Hash64.mask_words t.words ~bits:t.mask_bits
+
+(* ---- bit-sliced draws ---- *)
+
+let ensure_slab t m =
+  if Array.length t.slab < m then t.slab <- Array.make (max m 1) 0
+
+let draw_bitsliced t (c : Csr.t) rng =
+  let m = c.Csr.m in
+  ensure_slab t m;
+  let ep = c.Csr.ep and slab = t.slab in
+  for pos = 0 to m - 1 do
+    slab.(pos) <- Prng.Bitbatch.draw rng ep.(pos)
+  done;
+  t.slab_edges <- m;
+  t.drawn_for <- c
+
+let slab_word t pos =
+  if pos < 0 || pos >= t.slab_edges then invalid_arg "Kernel.slab_word";
+  t.slab.(pos)
+
+let set_slab_word t pos w =
+  if pos < 0 || pos >= t.slab_edges then invalid_arg "Kernel.set_slab_word";
+  t.slab.(pos) <- w land Prng.Bitbatch.all
+
+let transpose_worlds t =
+  let m = t.slab_edges in
+  let wpr = Bitslab.words_per_row ~cols:m in
+  let need = Prng.Bitbatch.lanes * wpr in
+  if need > 0 && Array.length t.tmask < need then t.tmask <- Array.make need 0;
+  Bitslab.transpose ~src:t.slab ~rows:m ~cols:Prng.Bitbatch.lanes ~dst:t.tmask;
+  t.tmask_wpr <- wpr
+
+let world_hash t ~lane =
+  Hash64.mask_words_sub t.tmask ~off:(lane * t.tmask_wpr) ~bits:t.slab_edges
 
 (* ---- early-exit connectivity ---- *)
 
@@ -275,7 +360,21 @@ let union t a b =
 
 let connected t = t.live <= 1
 
+(* Positions in the draw buffers are indices into [drawn_for]; a
+   different Csr (notably a different-sized graph reusing the same
+   domain's scratch) would read them as unrelated endpoints and return
+   a silently wrong verdict. One physical-equality test per round. *)
+let check_drawn t (c : Csr.t) =
+  if t.drawn_for != c then
+    invalid_arg "Kernel: no draw against this Csr in scratch (draw first)"
+
+let mark_terminals t terminals =
+  for i = 0 to Array.length terminals - 1 do
+    mark t terminals.(i)
+  done
+
 let union_drawn t (c : Csr.t) =
+  check_drawn t c;
   let eu = c.Csr.eu and ev = c.Csr.ev and present = t.present in
   let np = t.n_present in
   let i = ref 0 in
@@ -291,5 +390,87 @@ let union_drawn t (c : Csr.t) =
 
 let connected_terminals t (c : Csr.t) terminals =
   round_begin t ~elems:c.Csr.n;
-  Array.iter (fun v -> mark t v) terminals;
+  mark_terminals t terminals;
   union_drawn t c
+
+(* ---- bit-sliced connectivity ---- *)
+
+(* Union the slab edges present in lane [lane], early-exiting like
+   [union_drawn]. The round must already be begun and marked. *)
+let union_lane t (c : Csr.t) ~lane =
+  let eu = c.Csr.eu and ev = c.Csr.ev and slab = t.slab in
+  let m = t.slab_edges in
+  let i = ref 0 in
+  while t.live > 1 && !i < m do
+    if (slab.(!i) lsr lane) land 1 = 1 then union t eu.(!i) ev.(!i);
+    incr i
+  done;
+  t.live <= 1
+
+let connected_lane t (c : Csr.t) terminals ~lane =
+  check_drawn t c;
+  if lane < 0 || lane >= Prng.Bitbatch.lanes then
+    invalid_arg "Kernel.connected_lane";
+  round_begin t ~elems:c.Csr.n;
+  mark_terminals t terminals;
+  union_lane t c ~lane
+
+let connected_lanes t (c : Csr.t) terminals ~active =
+  check_drawn t c;
+  let active = active land Prng.Bitbatch.all in
+  if active = 0 then 0
+  else begin
+    let slab = t.slab and m = t.slab_edges in
+    let eu = c.Csr.eu and ev = c.Csr.ev in
+    (* Word-wide agreement sweeps before any per-lane work. Subset
+       round: union only the edges every active lane drew; each lane's
+       world is a superset of that, so if it already connects the
+       terminals all lanes do. This also settles marked-component
+       counts < 2 (single or duplicated terminals) with no union at
+       all. *)
+    round_begin t ~elems:c.Csr.n;
+    mark_terminals t terminals;
+    let i = ref 0 in
+    while t.live > 1 && !i < m do
+      if slab.(!i) land active = active then union t eu.(!i) ev.(!i);
+      incr i
+    done;
+    if t.live <= 1 then active
+    else begin
+      (* Superset round: union every edge any active lane drew; each
+         lane's world is a subset, so if even this union fails to
+         connect, every lane fails. *)
+      round_begin t ~elems:c.Csr.n;
+      mark_terminals t terminals;
+      let i = ref 0 in
+      while t.live > 1 && !i < m do
+        if slab.(!i) land active <> 0 then union t eu.(!i) ev.(!i);
+        incr i
+      done;
+      if t.live > 1 then 0
+      else begin
+        (* Lanes disagree: peel each active lane into its own
+           early-exit round. *)
+        let verdict = ref 0 in
+        for lane = 0 to Prng.Bitbatch.lanes - 1 do
+          if (active lsr lane) land 1 = 1 then begin
+            round_begin t ~elems:c.Csr.n;
+            mark_terminals t terminals;
+            if union_lane t c ~lane then verdict := !verdict lor (1 lsl lane)
+          end
+        done;
+        !verdict
+      end
+    end
+  end
+
+let world_prob t (c : Csr.t) ~lane =
+  check_drawn t c;
+  let ep = c.Csr.ep and slab = t.slab in
+  let prob = ref Xprob.one in
+  for pos = 0 to t.slab_edges - 1 do
+    let p = ep.(pos) in
+    if (slab.(pos) lsr lane) land 1 = 1 then prob := Xprob.scale p !prob
+    else prob := Xprob.scale (1. -. p) !prob
+  done;
+  !prob

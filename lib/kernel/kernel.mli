@@ -66,12 +66,34 @@ module Csr : sig
       mirroring {!Ugraph.iter_incident} in position space. *)
 end
 
+(** Packed bit-matrix transposition between the kernel's two layouts:
+    edge-major (one word per edge, bit = world — the bit-sliced draw
+    slab) and world-major (one row of packed words per world — what
+    {!Hash64} digests). Both dimensions pack LSB-first,
+    [Hash64.word_bits] per word, rows padded to whole words. *)
+module Bitslab : sig
+  val words_per_row : cols:int -> int
+  (** Packed words per row of [cols] bits. *)
+
+  val transpose : src:int array -> rows:int -> cols:int -> dst:int array -> unit
+  (** [transpose ~src ~rows ~cols ~dst] writes the [cols × rows]
+      transpose of the [rows × cols] bit matrix [src] into [dst]
+      (which must hold at least [cols * words_per_row ~cols:rows]
+      words; that prefix is fully overwritten). An involution:
+      transposing back yields the original matrix. *)
+end
+
 type t
 (** Mutable per-domain scratch: the drawn-present buffer, the packed
-    mask words, and the stamped union–find. Grows on demand and is
-    reused across samples; nothing leaks between samples (the buffers
-    are rewritten per draw, the union–find is invalidated wholesale by
-    bumping its generation stamp). *)
+    mask words, the bit-sliced world slab, and the stamped union–find.
+    Grows on demand and is reused across samples; nothing leaks
+    between samples (the buffers are rewritten per draw, the
+    union–find is invalidated wholesale by bumping its generation
+    stamp). The scratch remembers which {!Csr.t} the last draw ran
+    against, and every connectivity entry point rejects any other
+    snapshot with [Invalid_argument] — positions in the draw buffers
+    are meaningless against a different graph, and the pre-check
+    failure mode was a silently wrong verdict. *)
 
 val create : unit -> t
 
@@ -109,6 +131,55 @@ val mask_hash : t -> int
     {!draw_prob} / detail {!draw_sub} mask. Digest-identical to
     {!Hash64.mask} over the corresponding [bool array]. *)
 
+(** {2 Bit-sliced world-parallel draws}
+
+    One {!Prng.Bitbatch.draw} per edge fills a slab word whose bit [l]
+    is world [l]'s outcome — [Prng.Bitbatch.lanes] (62) worlds per
+    pass at an expected [~log2 62 + 2] generator words per edge.
+    Verdicts are not bit-identical to the scalar draw order (the
+    streams differ by construction); the per-world contract is instead
+    replayability: lane [l] of the slab equals
+    [Prng.Bitbatch.bernoulli_lane ~lane:l] replayed against a copy of
+    the batch stream, which the differential battery checks. *)
+
+val draw_bitsliced : t -> Csr.t -> Prng.t -> unit
+(** Fill the slab: one batch draw per edge in position order. *)
+
+val connected_lanes : t -> Csr.t -> int array -> active:int -> int
+(** [connected_lanes t c terminals ~active] returns the verdict word
+    for the last bit-sliced draw: bit [l] set iff lane [l] is in
+    [active] and its world connects [terminals]. Word-wide agreement
+    sweeps settle unanimous batches in one union–find round each
+    (subset world connected ⇒ all lanes hit; superset world
+    disconnected ⇒ all lanes miss); only disagreeing batches peel
+    per-lane early-exit rounds. *)
+
+val connected_lane : t -> Csr.t -> int array -> lane:int -> bool
+(** One lane's verdict alone (the HT path, after dedup). *)
+
+val transpose_worlds : t -> unit
+(** Transpose the slab into world-major packed mask rows for
+    {!world_hash}. *)
+
+val world_hash : t -> lane:int -> int
+(** Content hash of lane [lane]'s world after {!transpose_worlds}.
+    Digest-identical to {!Hash64.mask} over that world's [bool array]
+    (and hence to the flat path's {!mask_hash} on an equal mask). *)
+
+val world_prob : t -> Csr.t -> lane:int -> Xprob.t
+(** Lane [lane]'s possible-graph probability, folded with
+    [Xprob.scale p] / [Xprob.scale (1 - p)] in position order — the
+    reference float-operation order. *)
+
+val slab_word : t -> int -> int
+(** [slab_word t pos] reads slab word [pos] of the last bit-sliced
+    draw (test and selfcheck surface).
+    @raise Invalid_argument outside the drawn range. *)
+
+val set_slab_word : t -> int -> int -> unit
+(** Overwrite a slab word (lane-permutation metamorphic checks only;
+    masked to the lane width). *)
+
 (** {2 Early-exit connectivity rounds}
 
     A round is: {!round_begin}, then {!mark} every required element
@@ -133,7 +204,10 @@ val connected : t -> bool
 
 val union_drawn : t -> Csr.t -> bool
 (** Union the endpoints of the drawn-present positions in draw order,
-    stopping as soon as {!connected} holds; returns {!connected}. *)
+    stopping as soon as {!connected} holds; returns {!connected}.
+    @raise Invalid_argument if the last draw ran against a different
+    {!Csr.t} than [c] (the draw buffers hold positions, which another
+    snapshot would misread). *)
 
 val connected_terminals : t -> Csr.t -> int array -> bool
 (** One full round: [round_begin] over the graph's vertices, [mark]

@@ -17,6 +17,18 @@ type estimate = {
    seed draws (it does not change the estimator's distribution). *)
 let chunk_target = 4096
 
+(* Which draw kernel the samplers run on. [Flat] is the scalar draw
+   (one bernoulli per edge per sample, the pre-kernel stream —
+   bit-identical to [Reference]); [Bitsliced] draws 62 worlds per pass
+   through [Kernel.draw_bitsliced]. Each mode is bit-identical to
+   itself at every [jobs] value (same chunk streams, same ordered
+   reduction), but the two modes consume the chunk streams differently
+   and so draw different possible graphs from the same seed: estimates
+   agree statistically, not bitwise, across modes. *)
+type kernel_mode = Flat | Bitsliced
+
+let kernel_mode_name = function Flat -> "flat" | Bitsliced -> "bitsliced"
+
 let validate g ~terminals ~samples ~jobs =
   Ugraph.validate_terminals g terminals;
   if samples <= 0 then invalid_arg "Mcsampling: samples <= 0";
@@ -94,11 +106,48 @@ let emit_estimate trace (e : estimate) =
   end;
   e
 
+(* Per-chunk sampling loops, one per kernel mode. The flat bodies are
+   the original inner loops verbatim (the bit-identity contract with
+   [Reference] rests on them); the bit-sliced bodies draw batches of
+   [Prng.Bitbatch.lanes] worlds per pass, masking the ragged last
+   batch to its live lanes — the full-width draw always runs, so a
+   chunk's stream consumption is independent of how the batch
+   boundaries land. *)
+
+let mc_chunk_flat csr term_arr rng len =
+  let sc = Kernel.scratch () in
+  let hits = ref 0 in
+  for _ = 1 to len do
+    Kernel.draw sc csr rng;
+    if Kernel.connected_terminals sc csr term_arr then incr hits
+  done;
+  !hits
+
+let mc_chunk_bitsliced csr term_arr rng len =
+  let sc = Kernel.scratch () in
+  let hits = ref 0 in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let batch = min !remaining Prng.Bitbatch.lanes in
+    Kernel.draw_bitsliced sc csr rng;
+    let active =
+      if batch = Prng.Bitbatch.lanes then Prng.Bitbatch.all
+      else (1 lsl batch) - 1
+    in
+    hits :=
+      !hits
+      + Prng.Bitbatch.popcount
+          (Kernel.connected_lanes sc csr term_arr ~active);
+    remaining := !remaining - batch
+  done;
+  !hits
+
 let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
-    ?(jobs = 1) g ~terminals ~samples =
+    ?(jobs = 1) ?(kernel = Flat) g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "mc";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
   if List.length terminals < 2 then begin
     Obs.incr o "trivial";
     emit_estimate trace (trivial_estimate ~jobs 1.)
@@ -118,16 +167,15 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
-          let sc = Kernel.scratch () in
-          let hits = ref 0 in
-          for _ = 1 to len do
-            Kernel.draw sc csr rng;
-            if Kernel.connected_terminals sc csr term_arr then incr hits
-          done;
+          let hits =
+            match kernel with
+            | Flat -> mc_chunk_flat csr term_arr rng len
+            | Bitsliced -> mc_chunk_bitsliced csr term_arr rng len
+          in
           Trace.complete tr ~ts "mc.chunk"
             ~args:
-              [ ("chunk", Int i); ("samples", Int len); ("hits", Int !hits) ];
-          (!hits, Obs.now obs -. t0, tr))
+              [ ("chunk", Int i); ("samples", Int len); ("hits", Int hits) ];
+          (hits, Obs.now obs -. t0, tr))
     in
     let kernel_secs = Obs.now obs -. t_kernel in
     (* Ordered reduction: integer hits fold in chunk order (associative
@@ -159,11 +207,60 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
         chunk_samples = Array.map snd chunks;
       }
 
+(* HT stage-1 bodies: dedup a chunk's draws into (hash -> entry) plus
+   the first-occurrence order. Both kernels produce the same tuple
+   shape, so stage 2 (the ordered merge) and the weighted fold are
+   mode-independent. The world hashes agree across modes on equal
+   masks (both replay the Hash64.mask digest), so dedup semantics are
+   identical; only the sampled worlds differ. *)
+
+let ht_chunk_flat csr term_arr rng len =
+  let sc = Kernel.scratch () in
+  let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
+  let order = Array.make len 0 in
+  let n_order = ref 0 in
+  for _ = 1 to len do
+    let prob = Kernel.draw_prob sc csr rng in
+    let h = Kernel.mask_hash sc in
+    if not (Hashtbl.mem seen h) then begin
+      let connected = Kernel.connected_terminals sc csr term_arr in
+      Hashtbl.add seen h (prob, connected);
+      order.(!n_order) <- h;
+      incr n_order
+    end
+  done;
+  (seen, order, !n_order)
+
+let ht_chunk_bitsliced csr term_arr rng len =
+  let sc = Kernel.scratch () in
+  let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
+  let order = Array.make len 0 in
+  let n_order = ref 0 in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let batch = min !remaining Prng.Bitbatch.lanes in
+    Kernel.draw_bitsliced sc csr rng;
+    Kernel.transpose_worlds sc;
+    for lane = 0 to batch - 1 do
+      let h = Kernel.world_hash sc ~lane in
+      if not (Hashtbl.mem seen h) then begin
+        let prob = Kernel.world_prob sc csr ~lane in
+        let connected = Kernel.connected_lane sc csr term_arr ~lane in
+        Hashtbl.add seen h (prob, connected);
+        order.(!n_order) <- h;
+        incr n_order
+      end
+    done;
+    remaining := !remaining - batch
+  done;
+  (seen, order, !n_order)
+
 let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(seed = 1) ?(jobs = 1) g ~terminals ~samples =
+    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "ht";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
   if List.length terminals < 2 then begin
     Obs.incr o "trivial";
     emit_estimate trace (trivial_estimate ~jobs 1.)
@@ -190,20 +287,11 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           let t0 = Obs.now obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
-          let sc = Kernel.scratch () in
-          let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
-          let order = Array.make len 0 in
-          let n_order = ref 0 in
-          for _ = 1 to len do
-            let prob = Kernel.draw_prob sc csr rng in
-            let h = Kernel.mask_hash sc in
-            if not (Hashtbl.mem seen h) then begin
-              let connected = Kernel.connected_terminals sc csr term_arr in
-              Hashtbl.add seen h (prob, connected);
-              order.(!n_order) <- h;
-              incr n_order
-            end
-          done;
+          let seen, order, n_order =
+            match kernel with
+            | Flat -> ht_chunk_flat csr term_arr rng len
+            | Bitsliced -> ht_chunk_bitsliced csr term_arr rng len
+          in
           Trace.complete tr ~ts "ht.chunk"
             ~args:
               [
@@ -212,7 +300,7 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
                 ("unique", Int (Hashtbl.length seen));
                 ("drawn", Int len);
               ];
-          (seen, order, !n_order, Obs.now obs -. t0, tr))
+          (seen, order, n_order, Obs.now obs -. t0, tr))
     in
     let kernel_secs = Obs.now obs -. t_kernel in
     (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk

@@ -66,6 +66,23 @@ type estimate = {
           the trivial [k < 2] answer) *)
 }
 
+type kernel_mode =
+  | Flat  (** scalar draw: one [Prng.bernoulli] per edge per sample —
+              the pre-kernel stream, bit-identical to {!Reference} *)
+  | Bitsliced
+      (** word-parallel draw: 62 worlds per {!Prng.Bitbatch.draw} pass
+          through [Kernel.draw_bitsliced] *)
+(** Which draw kernel the samplers run on (default {!Flat}). Each mode
+    is bit-identical to itself at every [jobs] value, but the modes
+    consume the per-chunk streams differently: for the same seed they
+    sample {e different} possible graphs, so estimates agree
+    statistically (same distribution, checked by the selfcheck oracle
+    and calibration sweeps), never bitwise across modes. *)
+
+val kernel_mode_name : kernel_mode -> string
+(** ["flat"] / ["bitsliced"] — the [sampling.kernel.mode] Obs text and
+    the CLI [--kernel] spelling. *)
+
 val mask_hash : bool array -> int -> int
 (** [mask_hash present m] is the non-negative 62-bit content hash of the
     first [m] mask bits ({!Hash64.mask}) identifying a sampled possible
@@ -81,16 +98,20 @@ val ht_weight : logq:float -> n:int -> float
     S2BDD descent estimator. *)
 
 val monte_carlo :
-  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int -> Ugraph.t ->
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+  ?kernel:kernel_mode -> Ugraph.t ->
   terminals:int list -> samples:int -> estimate
 (** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)]. [jobs]
     (default 1) sets the domain count; see the determinism contract
-    above. MC draws with replacement and never deduplicates, so
+    above. [kernel] (default {!Flat}) selects the draw kernel; the
+    chosen mode is recorded in the [sampling.kernel.mode] Obs text.
+    MC draws with replacement and never deduplicates, so
     [distinct = 0] (not measured). @raise Invalid_argument on invalid
     terminals, [samples <= 0], or [jobs <= 0]. *)
 
 val horvitz_thompson :
-  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int -> Ugraph.t ->
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+  ?kernel:kernel_mode -> Ugraph.t ->
   terminals:int list -> samples:int -> estimate
 (** Horvitz–Thompson over the distinct sampled possible graphs:
     [R^ = sum_i I * Pr[Gp_i] / pi_i] with

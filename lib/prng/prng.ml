@@ -99,6 +99,64 @@ let weighted_index g ws =
     let rec back j = if ws.(j) > 0. then j else back (j - 1) in
     back i
 
+(* Word-parallel Bernoulli draws: one bit-lane per world, 62 worlds per
+   native int (matching Hash64.word_bits, so lane masks pack the same
+   way the content hashes do). A lane's uniform variate is read off as
+   an infinite binary expansion, one digit per drawn word; comparing it
+   against the binary expansion of [p] digit-by-digit decides every
+   lane at its first digit that differs from [p]'s. Expected words per
+   draw is ~log2(lanes) + 2 regardless of [p] — the undecided mask
+   halves per digit — and the comparison is exact (floats are dyadic,
+   so the frac-doubling walk below terminates with no quantisation
+   bias). *)
+module Bitbatch = struct
+  let lanes = 62
+  let all = (1 lsl lanes) - 1
+
+  (* Top 62 of the 64 generator bits, as a non-negative native int. *)
+  let word g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+  let draw g p =
+    if p >= 1. then all
+    else if p <= 0. then 0
+    else begin
+      (* Invariant: lanes in [undecided] have matched every digit of
+         [p] so far; [result] holds the verdicts of decided lanes.
+         Digit d of p is produced by doubling the remaining fraction;
+         a lane whose uniform digit is 0 where p's is 1 decides
+         "present" (U < p), the converse decides "absent" (U > p).
+         When the fraction hits 0 the remaining digits of p are all 0,
+         so every still-undecided lane has U >= p: absent. *)
+      let result = ref 0 and undecided = ref all in
+      let frac = ref p in
+      while !undecided <> 0 && !frac > 0. do
+        let r = word g in
+        let f2 = !frac *. 2. in
+        if f2 >= 1. then begin
+          frac := f2 -. 1.;
+          result := !result lor (!undecided land lnot r land all);
+          undecided := !undecided land r
+        end
+        else begin
+          frac := f2;
+          undecided := !undecided land lnot r land all
+        end
+      done;
+      !result
+    end
+
+  (* Scalar replay of one lane: runs the identical word-parallel draw
+     (consuming the identical stream — word count depends only on [p]
+     and the drawn words themselves) and extracts the lane's bit. *)
+  let bernoulli_lane g ~lane p =
+    if lane < 0 || lane >= lanes then invalid_arg "Prng.Bitbatch.bernoulli_lane";
+    (draw g p lsr lane) land 1 = 1
+
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+    go 0 x
+end
+
 module Alias = struct
   type table = { prob : float array; alias : int array }
 

@@ -54,6 +54,39 @@ val weighted_index : t -> float array -> int
     [ws.(i) / sum ws] by linear scan. Weights must be non-negative with a
     positive sum. @raise Invalid_argument otherwise. *)
 
+(** Word-parallel Bernoulli draws for the bit-sliced sampling kernel:
+    62 worlds per native int, one bit-lane per world (the lane count
+    matches [Hash64.word_bits] so lane masks pack like content-hash
+    words). Draws are exact — each lane's marginal is exactly [p], with
+    lanes independent — and cost an expected [~log2 62 + 2] generator
+    words per call instead of 62 scalar {!bernoulli} draws. *)
+module Bitbatch : sig
+  val lanes : int
+  (** Worlds per word: [62]. *)
+
+  val all : int
+  (** The full lane mask [(1 lsl lanes) - 1]. *)
+
+  val draw : t -> float -> int
+  (** [draw g p] returns a word whose bit [l] is an independent
+      Bernoulli([p]) outcome for lane [l]. Consumes a data-dependent
+      number of generator words (replayable: rerunning on a {!copy} of
+      the state consumes the identical stream). Like {!bernoulli},
+      clamps [p] to [[0, 1]] and consumes nothing for [p <= 0] /
+      [p >= 1]. *)
+
+  val bernoulli_lane : t -> lane:int -> float -> bool
+  (** [bernoulli_lane g ~lane p] is the scalar replay of lane [lane]:
+      it runs the identical word-parallel draw on [g] (keeping [g]
+      stream-synchronised with a batch draw from the same state) and
+      returns that lane's bit. This is the per-world reference the
+      differential tests replay a slab against.
+      @raise Invalid_argument unless [0 <= lane < lanes]. *)
+
+  val popcount : int -> int
+  (** Number of set bits (verdict-mask accounting). *)
+end
+
 module Alias : sig
   (** Walker alias tables: O(n) build, O(1) weighted sampling, used by
       the stratified sampler when one stratum is drawn many times. *)

@@ -6,10 +6,10 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
 
   $ netrel selfcheck --trials 3 --seed 1
   selfcheck: seed=1 trials=3 jobs=1,2,8
-    oracle       cases=18   checks=828   violations=0   skipped=0
-    metamorphic  cases=27   checks=117   violations=0   skipped=0
-    calibration  cases=4    checks=4     violations=0   skipped=0
-  result: OK (49 cases, 949 checks, 0 violations)
+    oracle       cases=18   checks=1008  violations=0   skipped=0
+    metamorphic  cases=27   checks=135   violations=0   skipped=0
+    calibration  cases=8    checks=8     violations=0   skipped=0
+  result: OK (53 cases, 1151 checks, 0 violations)
 
   $ netrel selfcheck --trials 3 --seed 1 --json
   {
@@ -31,29 +31,29 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
       {
         "name": "oracle",
         "cases": 18,
-        "checks": 828,
+        "checks": 1008,
         "violations": 0,
         "skipped": 0
       },
       {
         "name": "metamorphic",
         "cases": 27,
-        "checks": 117,
+        "checks": 135,
         "violations": 0,
         "skipped": 0
       },
       {
         "name": "calibration",
-        "cases": 4,
-        "checks": 4,
+        "cases": 8,
+        "checks": 8,
         "violations": 0,
         "skipped": 0
       }
     ],
     "violations": [],
     "result": {
-      "cases": 49,
-      "checks": 949,
+      "cases": 53,
+      "checks": 1151,
       "violations": 0,
       "ok": true
     }

@@ -22,4 +22,5 @@ let () =
       Test_trace.suite;
       Test_check.suite;
       Test_kernel.suite;
+      Test_kernel_bitsliced.suite;
     ]

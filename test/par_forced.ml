@@ -53,6 +53,23 @@ let () =
              ~samples:10_000
          in
          (e.Mcsampling.value, e.Mcsampling.distinct, e.Mcsampling.chunk_samples)));
+  (* The bit-sliced kernel shares the chunked reduction, so the same
+     invariance must hold on its own stream (never compared cross-mode). *)
+  check_all_equal "bitsliced MC (value, hits)"
+    (runs (fun jobs ->
+         let e =
+           Mcsampling.monte_carlo ~seed:5 ~jobs ~kernel:Mcsampling.Bitsliced
+             fig1 ~terminals:[ 0; 4 ] ~samples:10_000
+         in
+         (e.Mcsampling.value, e.Mcsampling.hits, e.Mcsampling.chunk_samples)));
+  check_all_equal "bitsliced HT (value, distinct)"
+    (runs (fun jobs ->
+         let e =
+           Mcsampling.horvitz_thompson ~seed:5 ~jobs
+             ~kernel:Mcsampling.Bitsliced fig1 ~terminals:[ 0; 4 ]
+             ~samples:10_000
+         in
+         (e.Mcsampling.value, e.Mcsampling.distinct, e.Mcsampling.chunk_samples)));
   (* Full pipeline on a bridge-decomposable graph: subproblems and
      descents both land on the forced pool (width 2 forces deletion). *)
   let config = { S.default_config with S.samples = 500; S.width = 2 } in

@@ -1,0 +1,348 @@
+(* Differential battery for the bit-sliced world-parallel kernel.
+
+   The bit-sliced draw cannot be bit-identical to the scalar draw order
+   (one batch stream feeds 62 worlds), so unlike test_kernel.ml these
+   are not cross-mode stream-sync checks. The contract pinned here is:
+
+   - the slab is exactly the per-lane replay: bit [l] of every slab
+     word equals [Prng.Bitbatch.bernoulli_lane ~lane:l] replayed
+     against a copy of the batch stream (and the replay leaves the
+     stream in the same state as the batch draw);
+   - each peeled early-exit verdict equals the full-DSU verdict over
+     that lane's replayed bool mask;
+   - world hashes are digest-identical to [Hash64.mask] over the
+     replayed mask (so HT dedup semantics match the flat path);
+   - within the bitsliced mode, MC/HT estimates are bit-identical at
+     jobs 1/2/8 (the ordered-reduction contract holds per mode). *)
+
+open Testutil
+module K = Kernel
+module B = Prng.Bitbatch
+
+let arb_graph_ts = Test_bddbase.arb_graph_ts
+
+let streams_synced r1 r2 = Prng.int r1 1_000_000 = Prng.int r2 1_000_000
+
+(* Replay lane [lane] of a bit-sliced draw: the scalar per-world draw,
+   fed by a fresh copy of the batch stream. *)
+let replay_lane g ~seed ~lane =
+  let r = Prng.create seed in
+  let m = Ugraph.n_edges g in
+  ( Array.init m (fun eid ->
+        B.bernoulli_lane r ~lane (Ugraph.edge g eid).Ugraph.p),
+    r )
+
+let slab_bit sc ~pos ~lane = (K.slab_word sc pos lsr lane) land 1 = 1
+
+(* ---- transpose ---- *)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"Bitslab: transpose o transpose = id" ~count:300
+    QCheck.(pair (int_bound 80) (int_bound 80))
+    (fun (rows, cols) ->
+      let r = rng () in
+      let wpr = K.Bitslab.words_per_row ~cols in
+      let top_bits = cols - ((wpr - 1) * Hash64.word_bits) in
+      let src =
+        Array.init (rows * wpr) (fun i ->
+            let w = Int64.to_int (Int64.shift_right_logical (Prng.bits64 r) 2) in
+            (* Zero the padding above the row's last valid bit. *)
+            if i mod wpr = wpr - 1 && top_bits < Hash64.word_bits then
+              w land ((1 lsl top_bits) - 1)
+            else w)
+      in
+      let wpr_d = K.Bitslab.words_per_row ~cols:rows in
+      let dst = Array.make (max (cols * wpr_d) 1) 0 in
+      let back = Array.make (max (rows * wpr) 1) 0 in
+      K.Bitslab.transpose ~src ~rows ~cols ~dst;
+      K.Bitslab.transpose ~src:dst ~rows:cols ~cols:rows ~dst:back;
+      Array.for_all2 ( = ) src (Array.sub back 0 (Array.length src)))
+
+(* ---- per-lane replay ---- *)
+
+let prop_slab_equals_lane_replay =
+  QCheck.Test.make ~name:"draw_bitsliced: slab lane = bernoulli_lane replay"
+    ~count:150
+    (arb_graph_ts ~max_n:8 ~max_m:14 ~max_k:4)
+    (fun (n, es, _) ->
+      let g = graph ~n es in
+      let m = Ugraph.n_edges g in
+      let seed = 11 * n + m in
+      let batch_rng = Prng.create seed in
+      let c = K.Csr.of_graph g in
+      let sc = K.create () in
+      K.draw_bitsliced sc c batch_rng;
+      let ok = ref true in
+      for lane = 0 to B.lanes - 1 do
+        let present, replay_rng = replay_lane g ~seed ~lane in
+        for pos = 0 to m - 1 do
+          if slab_bit sc ~pos ~lane <> present.(pos) then ok := false
+        done;
+        (* The replay consumed the identical stream. *)
+        if not (streams_synced replay_rng (Prng.copy batch_rng)) then
+          ok := false
+      done;
+      !ok)
+
+(* The batch draw is exact for the degenerate probabilities: p <= 0 and
+   p >= 1 consume no randomness and decide every lane, like
+   Prng.bernoulli. *)
+let t_batch_degenerate_probs () =
+  let r = rng () in
+  let before = Prng.copy r in
+  Alcotest.(check int) "p=1 -> all lanes" B.all (B.draw r 1.);
+  Alcotest.(check int) "p=0 -> no lanes" 0 (B.draw r 0.);
+  Alcotest.(check int) "p<0 -> no lanes" 0 (B.draw r (-0.5));
+  Alcotest.(check int) "p>1 -> all lanes" B.all (B.draw r 1.5);
+  Alcotest.(check bool) "no stream consumed" true (streams_synced r before)
+
+(* Marginal sanity: lane-0 frequency over many draws approaches p. *)
+let t_batch_marginal () =
+  let r = rng () in
+  List.iter
+    (fun p ->
+      let hits = ref 0 and total = 20_000 in
+      for _ = 1 to total do
+        if B.draw r p land 1 = 1 then incr hits
+      done;
+      let freq = float_of_int !hits /. float_of_int total in
+      if Float.abs (freq -. p) > 0.02 then
+        Alcotest.failf "p=%g: lane-0 frequency %.4f" p freq)
+    [ 0.1; 0.5; 0.7; 0.9 ]
+
+(* ---- verdicts vs the full-DSU reference ---- *)
+
+let prop_lane_verdicts_match_dsu =
+  QCheck.Test.make ~name:"connected_lanes = per-lane full DSU" ~count:150
+    (arb_graph_ts ~max_n:8 ~max_m:14 ~max_k:4)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      let seed = 17 * n + List.length es in
+      let c = K.Csr.of_graph g in
+      let sc = K.create () in
+      let term_arr = Array.of_list ts in
+      let dsu = Dsu.create n in
+      let ok = ref true in
+      let batch_rng = Prng.create seed in
+      (* Several rounds on one scratch exercise the generation
+         stamping across peels. *)
+      for _ = 1 to 5 do
+        K.draw_bitsliced sc c batch_rng;
+        let verdict = K.connected_lanes sc c term_arr ~active:B.all in
+        for lane = 0 to B.lanes - 1 do
+          let present =
+            Array.init (Ugraph.n_edges g) (fun pos -> slab_bit sc ~pos ~lane)
+          in
+          let want =
+            Graphalgo.Connectivity.terminals_connected_dsu dsu g ~present ts
+          in
+          if (verdict lsr lane) land 1 = 1 <> want then ok := false;
+          (* The single-lane entry point (HT path) agrees. *)
+          if K.connected_lane sc c term_arr ~lane <> want then ok := false
+        done;
+        (* Restricting [active] masks the verdict and nothing else. *)
+        let active = 0x2AAAAAAAAAAAAAA land B.all in
+        if K.connected_lanes sc c term_arr ~active <> verdict land active
+        then ok := false
+      done;
+      !ok)
+
+(* ---- world hash and probability vs the replayed mask ---- *)
+
+let prop_world_hash_prob_match_replay =
+  QCheck.Test.make ~name:"world_hash/world_prob = replayed-mask reference"
+    ~count:150
+    (arb_graph_ts ~max_n:8 ~max_m:14 ~max_k:4)
+    (fun (n, es, _) ->
+      let g = graph ~n es in
+      let m = Ugraph.n_edges g in
+      let seed = 23 * n + m in
+      let c = K.Csr.of_graph g in
+      let sc = K.create () in
+      K.draw_bitsliced sc c (Prng.create seed);
+      K.transpose_worlds sc;
+      let ok = ref true in
+      for lane = 0 to B.lanes - 1 do
+        let present = Array.init m (fun pos -> slab_bit sc ~pos ~lane) in
+        if K.world_hash sc ~lane <> Hash64.mask present m then ok := false;
+        let prob = ref Xprob.one in
+        Array.iteri
+          (fun pos b ->
+            let p = c.K.Csr.ep.(pos) in
+            prob := Xprob.scale (if b then p else 1. -. p) !prob)
+          present;
+        if K.world_prob sc c ~lane <> !prob then ok := false
+      done;
+      !ok)
+
+(* ---- sampler determinism within the bitsliced mode ---- *)
+
+let mc_projection (e : Mcsampling.estimate) =
+  ( e.Mcsampling.value,
+    e.Mcsampling.samples_used,
+    e.Mcsampling.hits,
+    e.Mcsampling.distinct,
+    e.Mcsampling.variance_estimate,
+    e.Mcsampling.chunk_samples )
+
+let prop_bitsliced_jobs_identical =
+  QCheck.Test.make ~name:"bitsliced MC/HT bit-identical at jobs 1/2/8"
+    ~count:25
+    (arb_graph_ts ~max_n:7 ~max_m:12 ~max_k:3)
+    (fun (n, es, ts) ->
+      let g = graph ~n es in
+      (* 700 is not a lane multiple: every chunk ends in a ragged
+         batch whose inactive lanes must not leak into the counts. *)
+      let samples = 700 in
+      let seed = 5 + n in
+      let kernel = Mcsampling.Bitsliced in
+      let mc1 =
+        Mcsampling.monte_carlo ~seed ~jobs:1 ~kernel g ~terminals:ts ~samples
+      in
+      let ht1 =
+        Mcsampling.horvitz_thompson ~seed ~jobs:1 ~kernel g ~terminals:ts
+          ~samples
+      in
+      List.for_all
+        (fun jobs ->
+          mc_projection
+            (Mcsampling.monte_carlo ~seed ~jobs ~kernel g ~terminals:ts
+               ~samples)
+          = mc_projection mc1
+          && mc_projection
+               (Mcsampling.horvitz_thompson ~seed ~jobs ~kernel g
+                  ~terminals:ts ~samples)
+             = mc_projection ht1)
+        [ 2; 8 ])
+
+(* ---- edge cases ---- *)
+
+let t_zero_edge_graph () =
+  let g = graph ~n:2 [] in
+  let c = K.Csr.of_graph g in
+  let sc = K.create () in
+  K.draw_bitsliced sc c (rng ());
+  Alcotest.(check int)
+    "disconnected terminals: no lane connects" 0
+    (K.connected_lanes sc c [| 0; 1 |] ~active:B.all);
+  K.transpose_worlds sc;
+  Alcotest.(check int)
+    "empty-mask hash" (Hash64.mask [||] 0) (K.world_hash sc ~lane:3);
+  let e =
+    Mcsampling.monte_carlo ~seed:3 ~kernel:Mcsampling.Bitsliced g
+      ~terminals:[ 0; 1 ] ~samples:200
+  in
+  Alcotest.(check (float 0.)) "MC estimate 0" 0. e.Mcsampling.value
+
+let t_single_edge () =
+  let g = graph ~n:2 [ (0, 1, 0.5) ] in
+  let c = K.Csr.of_graph g in
+  let sc = K.create () in
+  K.draw_bitsliced sc c (rng ());
+  (* The verdict word IS the slab word: lane connects iff it drew the
+     one edge. *)
+  Alcotest.(check int)
+    "verdict = slab word"
+    (K.slab_word sc 0)
+    (K.connected_lanes sc c [| 0; 1 |] ~active:B.all)
+
+let t_self_loop_only () =
+  let g = graph ~n:2 [ (0, 0, 0.9) ] in
+  let c = K.Csr.of_graph g in
+  let sc = K.create () in
+  K.draw_bitsliced sc c (rng ());
+  Alcotest.(check int)
+    "self-loops never connect" 0
+    (K.connected_lanes sc c [| 0; 1 |] ~active:B.all)
+
+let t_terminals_already_connected () =
+  (* One marked component before any union: every active lane connects
+     with no edge work at all — on a zero-edge graph included. *)
+  let g = graph ~n:3 [] in
+  let c = K.Csr.of_graph g in
+  let sc = K.create () in
+  K.draw_bitsliced sc c (rng ());
+  Alcotest.(check int)
+    "duplicate terminal marks" B.all
+    (K.connected_lanes sc c [| 1; 1 |] ~active:B.all);
+  Alcotest.(check int)
+    "single terminal" 0x7
+    (K.connected_lanes sc c [| 2 |] ~active:0x7);
+  Alcotest.(check bool)
+    "single-lane entry point" true
+    (K.connected_lane sc c [| 1; 1 |] ~lane:0)
+
+let t_ragged_last_word () =
+  (* 70 edges: the world-major rows span two packed words, the second
+     ragged. The hash must still replay Hash64.mask exactly. *)
+  let m = 70 in
+  let n = m + 1 in
+  let es = List.init m (fun i -> (i, i + 1, 0.5)) in
+  let g = graph ~n es in
+  let c = K.Csr.of_graph g in
+  let sc = K.create () in
+  K.draw_bitsliced sc c (rng ());
+  K.transpose_worlds sc;
+  for lane = 0 to B.lanes - 1 do
+    let present = Array.init m (fun pos -> slab_bit sc ~pos ~lane) in
+    Alcotest.(check int)
+      (Printf.sprintf "ragged world hash, lane %d" lane)
+      (Hash64.mask present m)
+      (K.world_hash sc ~lane)
+  done
+
+(* ---- scratch reuse across graphs: the draw/union pairing check ---- *)
+
+let t_scratch_graph_mismatch () =
+  let g_a = fig1 () in
+  let g_b = graph ~n:3 [ (0, 1, 0.5); (1, 2, 0.5) ] in
+  let csr_a = K.Csr.of_graph g_a and csr_b = K.Csr.of_graph g_b in
+  let sc = K.create () in
+  let r = rng () in
+  (* Fresh scratch: no draw at all yet. *)
+  Alcotest.check_raises "connectivity before any draw"
+    (Invalid_argument "Kernel: no draw against this Csr in scratch (draw first)")
+    (fun () -> ignore (K.connected_terminals sc csr_a [| 0; 4 |]));
+  (* Flat draw against A, connectivity against B: the present buffer
+     holds positions into A, which B would silently misread. *)
+  K.draw sc csr_a r;
+  Alcotest.check_raises "flat draw A, union B"
+    (Invalid_argument "Kernel: no draw against this Csr in scratch (draw first)")
+    (fun () -> ignore (K.connected_terminals sc csr_b [| 0; 2 |]));
+  Alcotest.(check bool)
+    "matching Csr still works" true
+    (let _ = K.connected_terminals sc csr_a [| 0; 4 |] in
+     true);
+  (* Same for the bit-sliced entry points. *)
+  K.draw_bitsliced sc csr_b r;
+  Alcotest.check_raises "bitsliced draw B, peel A"
+    (Invalid_argument "Kernel: no draw against this Csr in scratch (draw first)")
+    (fun () -> ignore (K.connected_lanes sc csr_a [| 0; 4 |] ~active:B.all));
+  Alcotest.check_raises "bitsliced draw B, lane A"
+    (Invalid_argument "Kernel: no draw against this Csr in scratch (draw first)")
+    (fun () -> ignore (K.connected_lane sc csr_a [| 0; 4 |] ~lane:0));
+  ignore (K.connected_lanes sc csr_b [| 0; 2 |] ~active:B.all)
+
+let suite =
+  ( "kernel-bitsliced",
+    [
+      Alcotest.test_case "batch degenerate probabilities" `Quick
+        t_batch_degenerate_probs;
+      Alcotest.test_case "batch lane-0 marginal" `Quick t_batch_marginal;
+      Alcotest.test_case "zero-edge graph" `Quick t_zero_edge_graph;
+      Alcotest.test_case "single edge" `Quick t_single_edge;
+      Alcotest.test_case "self-loop only" `Quick t_self_loop_only;
+      Alcotest.test_case "terminals already connected" `Quick
+        t_terminals_already_connected;
+      Alcotest.test_case "ragged last word" `Quick t_ragged_last_word;
+      Alcotest.test_case "scratch graph mismatch" `Quick
+        t_scratch_graph_mismatch;
+    ]
+    @ qtests
+        [
+          prop_transpose_involution;
+          prop_slab_equals_lane_replay;
+          prop_lane_verdicts_match_dsu;
+          prop_world_hash_prob_match_replay;
+          prop_bitsliced_jobs_identical;
+        ] )
