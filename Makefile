@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive clean
 
 build:
 	dune build
@@ -47,6 +47,16 @@ bench-kernels:
 # `dune runtest`.
 bench-bitsliced:
 	dune exec bench/main.exe -- --only bitsliced --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Sequential stopping (--ci-width) vs the fixed 10k sample budget on
+# karate: the three adaptive drivers report the samples the stopping
+# rule actually spent, the round count and the stop reason, emitting
+# the self-validated BENCH_adaptive.json at the repo root — the tracked
+# sample-efficiency artifact (adaptive.samples_used vs run.samples).
+# Also runs under `dune runtest`.
+bench-adaptive:
+	dune exec bench/main.exe -- --only adaptive --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

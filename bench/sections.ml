@@ -42,7 +42,17 @@ let validate_stats_doc doc =
     (fun k ->
       if J.member k doc = None then
         failwith (Printf.sprintf "stats document missing top-level key %S" k))
-    SD.required_keys
+    SD.required_keys;
+  (* Durations come off the monotonic clock now; a negative run.seconds
+     would mean a wall-clock step leaked back in. *)
+  match J.member "run" doc with
+  | None -> failwith "stats document missing run"
+  | Some run -> (
+    match J.member "seconds" run with
+    | Some (J.Float s) when s >= 0. -> ()
+    | Some (J.Float s) ->
+      failwith (Printf.sprintf "stats document run.seconds = %g < 0" s)
+    | _ -> failwith "stats document missing run.seconds")
 
 let emit_json cfg ~section ?(trace = Trace.disabled) runs =
   if cfg.json then begin
@@ -871,6 +881,115 @@ let bitsliced cfg =
     datasets;
   emit_json cfg ~section:"bitsliced" ~trace:tr (List.rev !stats_docs)
 
+(* ---- Adaptive: sequential stopping vs fixed sample budgets ---- *)
+
+(* An adaptive stats document must prove the driver actually ran the
+   stopping loop: the "adaptive" phase has to carry the round/budget
+   counters and the width gauges the README points readers at. *)
+let assert_adaptive_counters ~method_name doc =
+  match J.member "adaptive" doc with
+  | None ->
+    failwith (Printf.sprintf "stats doc for %s missing adaptive" method_name)
+  | Some a ->
+    List.iter
+      (fun k ->
+        if J.member k a = None then
+          failwith
+            (Printf.sprintf "stats doc for %s missing adaptive.%s" method_name k))
+      [ "rounds"; "samples_planned"; "samples_used"; "ci_width"; "target_width" ]
+
+let adaptive_result_doc (r : Adaptive.result) =
+  SD.result_of_adaptive ~value:r.Adaptive.value ~lower:r.Adaptive.lower
+    ~upper:r.Adaptive.upper ~exact:r.Adaptive.exact
+    ~ci_width:r.Adaptive.ci_width ~target_width:r.Adaptive.target_width
+    ~samples_used:r.Adaptive.samples_used
+    ~samples_planned:r.Adaptive.samples_planned ~rounds:r.Adaptive.rounds
+    ~stop:(Adaptive.stop_name r.Adaptive.stop)
+
+let adaptive cfg =
+  banner "Adaptive: sequential stopping vs fixed sample budgets"
+    "Each method draws in rounds until the 95% Wilson interval is no wider\n\
+     than the target; `samples` is what the stopping rule actually spent\n\
+     vs the fixed 10k default budget. Paper shape: Pro reaches the target\n\
+     width with far fewer descents than plain sampling (the proven bounds\n\
+     shrink the unresolved mass), and for a fixed seed every row is\n\
+     bit-identical at every jobs value.";
+  let width = if cfg.quick then 0.02 else 0.01 in
+  let cap = if cfg.quick then 200_000 else Adaptive.default_max_samples in
+  let fixed = 10_000 in
+  let k = 10 in
+  let datasets =
+    let karate = D.karate ~seed:cfg.seed () in
+    if cfg.quick then [ karate ]
+    else karate :: D.large ~seed:cfg.seed ~scale:cfg.scale ()
+  in
+  let stats_docs = ref [] in
+  let tr = section_trace cfg in
+  List.iter
+    (fun (d : D.t) ->
+      let g = d.D.graph in
+      let ts = terminals cfg ~search:1 g ~k in
+      Printf.printf "--- %s (target width = %g, cap = %d, k = %d) ---\n"
+        d.D.abbr width cap k;
+      Printf.printf "%-13s %14s %10s %9s %7s %-14s %10s %8s\n" "Method" "R"
+        "width" "samples" "rounds" "stop" "time" "vs 10k";
+      let row name run =
+        let r, dt = Relstats.time run in
+        Printf.printf "%-13s %14.8f %10.2e %9d %7d %-14s %10s %7.2fx\n" name
+          r.Adaptive.value r.Adaptive.ci_width r.Adaptive.samples_used
+          r.Adaptive.rounds
+          (Adaptive.stop_name r.Adaptive.stop)
+          (Relstats.format_seconds dt)
+          (float_of_int r.Adaptive.samples_used /. float_of_int fixed);
+        r
+      in
+      let _ =
+        row "Sampling(MC)" (fun () ->
+            Adaptive.monte_carlo ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+              ~ci_width:width ~max_samples:cap)
+      in
+      let _ =
+        row "Sampling(HT)" (fun () ->
+            Adaptive.horvitz_thompson ~seed:cfg.seed ~jobs:1 g ~terminals:ts
+              ~ci_width:width ~max_samples:cap)
+      in
+      let _ =
+        row "Pro(MC)" (fun () ->
+            let config =
+              s2_config cfg ~s:fixed ~w:(if cfg.quick then 64 else 1_000)
+                ~estimator:S.Monte_carlo ~seed:cfg.seed
+            in
+            Adaptive.reliability ~config ~jobs:1 g ~terminals:ts
+              ~ci_width:width ~max_samples:cap)
+      in
+      print_newline ();
+      if cfg.json || cfg.trace then begin
+        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let adaptive_doc method_name run =
+          let doc =
+            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s:cap ~w:0 ~trace:tr
+              (fun ~obs ~trace -> adaptive_result_doc (run ~obs ~trace))
+          in
+          assert_adaptive_counters ~method_name doc;
+          add doc
+        in
+        adaptive_doc "adaptive-mc" (fun ~obs ~trace ->
+            Adaptive.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 g
+              ~terminals:ts ~ci_width:width ~max_samples:cap);
+        adaptive_doc "adaptive-ht" (fun ~obs ~trace ->
+            Adaptive.horvitz_thompson ~obs ~trace ~seed:cfg.seed ~jobs:1 g
+              ~terminals:ts ~ci_width:width ~max_samples:cap);
+        adaptive_doc "adaptive-pro" (fun ~obs ~trace ->
+            let config =
+              s2_config cfg ~s:fixed ~w:(if cfg.quick then 64 else 1_000)
+                ~estimator:S.Monte_carlo ~seed:cfg.seed
+            in
+            Adaptive.reliability ~obs ~trace ~config ~jobs:1 g ~terminals:ts
+              ~ci_width:width ~max_samples:cap)
+      end)
+    datasets;
+  emit_json cfg ~section:"adaptive" ~trace:tr (List.rev !stats_docs)
+
 let all_sections =
   [
     ("table2", table2);
@@ -887,4 +1006,5 @@ let all_sections =
     ("parallel", parallel);
     ("kernels", kernels);
     ("bitsliced", bitsliced);
+    ("adaptive", adaptive);
   ]

@@ -161,6 +161,27 @@ let kernel_arg =
            Mcsampling.Flat
        & info [ "kernel" ] ~docv:"KERNEL" ~doc)
 
+(* Shared human-readable rendering of a sequential-stopping run. *)
+let print_adaptive (r : Adaptive.result) dt =
+  Printf.printf "R = %.10g%s\nci95 = [%.10g, %.10g]  (width %.4g, target %.4g)\n"
+    r.Adaptive.value
+    (if r.Adaptive.exact then "  (exact)" else "")
+    r.Adaptive.lower r.Adaptive.upper r.Adaptive.ci_width
+    r.Adaptive.target_width;
+  Printf.printf "adaptive: %d samples in %d rounds, stop = %s\n"
+    r.Adaptive.samples_used r.Adaptive.rounds
+    (Adaptive.stop_name r.Adaptive.stop);
+  Printf.printf "time: %s\n" (Relstats.format_seconds dt)
+
+let adaptive_result_doc (r : Adaptive.result) =
+  let module SD = Netrel.Statsdoc in
+  SD.result_of_adaptive ~value:r.Adaptive.value ~lower:r.Adaptive.lower
+    ~upper:r.Adaptive.upper ~exact:r.Adaptive.exact
+    ~ci_width:r.Adaptive.ci_width ~target_width:r.Adaptive.target_width
+    ~samples_used:r.Adaptive.samples_used
+    ~samples_planned:r.Adaptive.samples_planned ~rounds:r.Adaptive.rounds
+    ~stop:(Adaptive.stop_name r.Adaptive.stop)
+
 (* --stats json: run the chosen method under a live observer and emit
    one structured stats document (Statsdoc) on stdout in place of the
    human-readable report. The observer never touches random streams,
@@ -168,32 +189,51 @@ let kernel_arg =
    NETREL_FAKE_CLOCK set the whole document is byte-stable in the
    seed (the cram test exercises exactly that). *)
 let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
-    ~jobs ~kernel ~trace =
+    ~jobs ~kernel ~trace ~ci_width ~max_samples =
   let module SD = Netrel.Statsdoc in
   let obs = Obs.create () in
   let t0 = Obs.now obs in
   let method_name, result =
-    match method_ with
-    | Pro ->
+    match (method_, ci_width) with
+    | Pro, Some w ->
+      let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
+      let config = { S.default_config with S.samples; S.width;
+                     S.estimator; S.seed = seed } in
+      let r = Adaptive.reliability ~obs ~trace ~config
+                ~extension:(not no_ext) ~jobs ?max_samples g ~terminals:ts
+                ~ci_width:w in
+      ((if ht then "pro-ht" else "pro"), adaptive_result_doc r)
+    | Sampling_mc, Some w ->
+      let r = Adaptive.monte_carlo ~obs ~trace ~seed ~jobs ~kernel
+                ?max_samples g ~terminals:ts ~ci_width:w in
+      ("sampling-mc", adaptive_result_doc r)
+    | Sampling_ht, Some w ->
+      let r = Adaptive.horvitz_thompson ~obs ~trace ~seed ~jobs ~kernel
+                ?max_samples g ~terminals:ts ~ci_width:w in
+      ("sampling-ht", adaptive_result_doc r)
+    | (Bdd | Brute), Some _ ->
+      (* Rejected before dispatch; keep the match total. *)
+      assert false
+    | Pro, None ->
       let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
       let config = { S.default_config with S.samples; S.width;
                      S.estimator; S.seed = seed } in
       let rep = R.estimate ~obs ~trace ~config ~extension:(not no_ext) ~jobs g
                   ~terminals:ts in
       ((if ht then "pro-ht" else "pro"), SD.result_of_report rep)
-    | Sampling_mc ->
+    | Sampling_mc, None ->
       let est =
         Mcsampling.monte_carlo ~obs ~trace ~seed ~jobs ~kernel g ~terminals:ts
           ~samples
       in
       ("sampling-mc", SD.result_of_estimate est)
-    | Sampling_ht ->
+    | Sampling_ht, None ->
       let est =
         Mcsampling.horvitz_thompson ~obs ~trace ~seed ~jobs ~kernel g
           ~terminals:ts ~samples
       in
       ("sampling-ht", SD.result_of_estimate est)
-    | Bdd -> (
+    | Bdd, None -> (
       match R.exact ~extension:(not no_ext) g ~terminals:ts with
       | Ok r -> ("bdd", SD.result_value ~value:r ~exact:true)
       | Error (`Node_budget_exceeded n) ->
@@ -201,7 +241,7 @@ let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
           Obs.Json.Obj
             [ ("error", Obs.Json.Str "node_budget_exceeded");
               ("nodes", Obs.Json.Int n) ] ))
-    | Brute ->
+    | Brute, None ->
       let r = Bddbase.Bruteforce.reliability g ~terminals:ts in
       ("brute", SD.result_value ~value:r ~exact:true)
   in
@@ -230,6 +270,22 @@ let estimate_cmd =
     let doc = "Disable the extension technique (prune/decompose/transform)." in
     Arg.(value & flag & info [ "no-extension" ] ~doc)
   in
+  let ci_width =
+    let doc = "Adaptive sequential stopping: instead of a fixed --samples \
+               budget, draw sampling rounds until the 95% confidence \
+               interval (Wilson score) is at most $(docv) wide or \
+               --max-samples trips. Applies to $(b,pro), $(b,sampling-mc) \
+               and $(b,sampling-ht); the round schedule is deterministic in \
+               the seed, so results stay bit-identical at every --jobs \
+               value." in
+    Arg.(value & opt (some float) None
+         & info [ "ci-width" ] ~docv:"WIDTH" ~doc)
+  in
+  let max_samples =
+    let doc = "Hard sample cap for a --ci-width run (default 1000000)." in
+    Arg.(value & opt (some int) None
+         & info [ "max-samples" ] ~docv:"N" ~doc)
+  in
   let method_ =
     let doc = "Computation method: $(b,pro) (the paper's approach, default), \
                $(b,sampling-mc), $(b,sampling-ht), $(b,bdd) (exact baseline), \
@@ -246,9 +302,16 @@ let estimate_cmd =
          & info [ "stats" ] ~docv:"FORMAT" ~doc)
   in
   let run verbose file dataset seed scale terminals k samples width ht no_ext
-      method_ jobs kernel stats trace_file trace_format progress =
+      ci_width max_samples method_ jobs kernel stats trace_file trace_format
+      progress =
     guarded @@ fun () ->
     check_jobs jobs;
+    (match (ci_width, max_samples, method_) with
+    | Some _, _, (Bdd | Brute) ->
+      or_die
+        (Error "--ci-width applies to pro / sampling-mc / sampling-ht only")
+    | None, Some _, _ -> or_die (Error "--max-samples requires --ci-width")
+    | _ -> ());
     let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
     let ts = or_die (parse_terminals g ~terminals ~k ~seed:(seed + 17)) in
     (try Ugraph.validate_terminals g ts
@@ -286,13 +349,33 @@ let estimate_cmd =
     Fun.protect ~finally:finalize @@ fun () ->
     match stats with
     | `Json -> run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext
-                 ~method_ ~jobs ~kernel ~trace
+                 ~method_ ~jobs ~kernel ~trace ~ci_width ~max_samples
     | `None ->
     Printf.printf "graph %s: %s\nterminals: [%s]\n" name
       (Format.asprintf "%a" Ugraph.pp_stats g)
       (String.concat ", " (List.map string_of_int ts));
-    match method_ with
-    | Pro ->
+    match (method_, ci_width) with
+    | Pro, Some w ->
+      let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
+      let config = { S.default_config with S.samples = samples; S.width = width;
+                     S.estimator; S.seed = seed } in
+      let r, dt =
+        Relstats.time (fun () ->
+            Adaptive.reliability ~trace ~config ~extension:(not no_ext) ~jobs
+              ?max_samples g ~terminals:ts ~ci_width:w)
+      in
+      print_adaptive r dt
+    | (Sampling_mc | Sampling_ht), Some w ->
+      let f = if method_ = Sampling_mc then Adaptive.monte_carlo
+              else Adaptive.horvitz_thompson in
+      let r, dt =
+        Relstats.time (fun () ->
+            f ~trace ~seed ~jobs ~kernel ?max_samples g ~terminals:ts
+              ~ci_width:w)
+      in
+      print_adaptive r dt
+    | (Bdd | Brute), Some _ -> assert false (* rejected above *)
+    | Pro, None ->
       let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
       let config = { S.default_config with S.samples = samples; S.width = width;
                      S.estimator; S.seed = seed } in
@@ -307,7 +390,7 @@ let estimate_cmd =
       Printf.printf "budget: s = %d -> s' = %d, %d descents drawn\n"
         rep.R.s_given rep.R.s_reduced rep.R.samples_drawn;
       Printf.printf "time: %s\n" (Relstats.format_seconds dt)
-    | Sampling_mc | Sampling_ht ->
+    | (Sampling_mc | Sampling_ht), None ->
       let f = if method_ = Sampling_mc then Mcsampling.monte_carlo
               else Mcsampling.horvitz_thompson in
       let est, dt =
@@ -317,7 +400,7 @@ let estimate_cmd =
       Printf.printf "R = %.10g  (%d samples, %d hits)\ntime: %s\n"
         est.Mcsampling.value est.Mcsampling.samples_used est.Mcsampling.hits
         (Relstats.format_seconds dt)
-    | Bdd -> (
+    | Bdd, None -> (
       let res, dt =
         Relstats.time (fun () ->
             R.exact ~extension:(not no_ext) g ~terminals:ts)
@@ -328,7 +411,7 @@ let estimate_cmd =
       | Error (`Node_budget_exceeded n) ->
         Printf.printf "DNF: BDD node budget exceeded at %d nodes (%s)\n" n
           (Relstats.format_seconds dt))
-    | Brute ->
+    | Brute, None ->
       let r, dt =
         Relstats.time (fun () -> Bddbase.Bruteforce.reliability g ~terminals:ts)
       in
@@ -338,9 +421,9 @@ let estimate_cmd =
   let doc = "Compute the network reliability of terminals in an uncertain graph" in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(const run $ verbose_arg $ graph_file $ dataset_arg $ seed_arg $ scale_arg
-          $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ method_
-          $ jobs_arg $ kernel_arg $ stats_fmt $ trace_arg $ trace_format_arg
-          $ progress_arg)
+          $ terminals_arg $ k_arg $ samples $ width $ ht $ no_ext $ ci_width
+          $ max_samples $ method_ $ jobs_arg $ kernel_arg $ stats_fmt
+          $ trace_arg $ trace_format_arg $ progress_arg)
 
 (* ---- stats ---- *)
 

@@ -543,6 +543,25 @@ let min_covering n =
   let lo = (0.95 *. fn) -. ((4.5 *. sqrt (fn *. 0.95 *. 0.05)) +. 2.) in
   int_of_float (Float.ceil lo)
 
+(* Coverage floor for the {e stopped} estimator. Sequential stopping
+   peeks at the interval after every round, and stopping exactly when
+   the interval first looks narrow biases coverage low relative to the
+   fixed-n Wilson guarantee (optional stopping). The floor is therefore
+   the same 4.5-sigma binomial bound evaluated at a 90% nominal level:
+   stopped Wilson coverage sits comfortably above it in practice, while
+   a genuine interval bug — the zero-width Wald interval at 0 hits this
+   release fixed, a wrong mass scaling — lands far below. *)
+let min_covering_stopped n =
+  let fn = float_of_int n in
+  let lo = (0.90 *. fn) -. ((4.5 *. sqrt (fn *. 0.90 *. 0.10)) +. 2.) in
+  int_of_float (Float.ceil lo)
+
+(* Narrow enough that the driver needs more than one round (the
+   schedule actually adapts), loose enough that the cap never trips at
+   the calibration scale. *)
+let adaptive_ci_width = 0.015
+let adaptive_max_samples = 40_000
+
 let calibration t rng ~trials =
   let replicates = max 40 (min 400 (2 * trials)) in
   let calibrate tag run (label, g, terminals) =
@@ -592,7 +611,62 @@ let calibration t rng ~trials =
     (calibrate "ht-bitsliced" (fun g ~terminals ~seed ->
          Mcsampling.horvitz_thompson ~seed ~kernel:Mcsampling.Bitsliced g
            ~terminals ~samples:calibration_samples))
-    ht_calibration_cases
+    ht_calibration_cases;
+  (* Sequential stopping: the interval the run {e stopped on} must still
+     cover the truth (at the looser stopped floor, see
+     [min_covering_stopped]) and the stopping rule itself must engage —
+     every replicate ends on width-reached, not on the sample cap. *)
+  let calibrate_adaptive tag run (label, g, terminals) =
+    match exact0 g ~terminals with
+    | Error (`Node_budget_exceeded _) -> t.skipped <- t.skipped + 1
+    | Ok rex ->
+      t.cases <- t.cases + 1;
+      let case = Printf.sprintf "%s/%s" label tag in
+      let artifact =
+        Printf.sprintf
+          "calibration %s exact=%.17g replicates=%d ci_width=%g cap=%d\n" case
+          rex replicates adaptive_ci_width adaptive_max_samples
+      in
+      let covered = ref 0 and width_reached = ref 0 in
+      for _ = 1 to replicates do
+        let seed = case_seed rng in
+        let (r : Adaptive.result) = run g ~terminals ~seed in
+        if r.Adaptive.stop = Adaptive.Width_reached then incr width_reached;
+        if
+          r.Adaptive.lower -. 1e-12 <= rex && rex <= r.Adaptive.upper +. 1e-12
+        then incr covered
+      done;
+      check t ~invariant:"calibration.stopped-ci-coverage" ~case ~artifact
+        (!covered >= min_covering_stopped replicates)
+        (fun () ->
+          Printf.sprintf "%d/%d stopped replicates covered (floor %d)"
+            !covered replicates (min_covering_stopped replicates));
+      check t ~invariant:"calibration.stopping-rule-engages" ~case ~artifact
+        (!width_reached = replicates)
+        (fun () ->
+          Printf.sprintf "%d/%d replicates stopped on width-reached"
+            !width_reached replicates)
+  in
+  List.iter
+    (calibrate_adaptive "adaptive-mc" (fun g ~terminals ~seed ->
+         Adaptive.monte_carlo ~seed g ~terminals ~ci_width:adaptive_ci_width
+           ~max_samples:adaptive_max_samples))
+    mc_calibration_cases;
+  calibrate_adaptive "adaptive-pro"
+    (fun g ~terminals ~seed ->
+      (* A tiny width cap forces deletion, so the Neyman-stratified plan
+         path — not just the proven bounds — is what gets calibrated. *)
+      let config =
+        {
+          S2bdd.default_config with
+          S2bdd.samples = calibration_samples;
+          width = 2;
+          seed;
+        }
+      in
+      Adaptive.reliability ~config g ~terminals ~ci_width:adaptive_ci_width
+        ~max_samples:adaptive_max_samples)
+    (List.hd mc_calibration_cases)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

@@ -160,20 +160,17 @@ let resolve_order cfg g ~terminals =
   | `Strategy s -> O.order_edges s g
   | `Explicit o -> o
 
-let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(config = default_config) g ~terminals =
-  Ugraph.validate_terminals g terminals;
-  let cfg = config in
-  if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
-  if cfg.width <= 0 then invalid_arg "S2bdd.estimate: width <= 0";
-  let co = Obs.sub obs "construction" in
+(* The trivial answers every entry point shares: k < 2 connects by
+   definition; an isolated terminal or terminals in different components
+   of the all-present graph can never connect. *)
+let trivial_of cfg co g ~terminals =
   if List.length terminals < 2 then begin
     Obs.incr co "trivial";
-    trivial_result cfg 1.
+    Some (trivial_result cfg 1.)
   end
   else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then begin
     Obs.incr co "trivial";
-    trivial_result cfg 0.
+    Some (trivial_result cfg 0.)
   end
   else if
     not
@@ -182,33 +179,240 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
          terminals)
   then begin
     Obs.incr co "trivial";
-    trivial_result cfg 0.
+    Some (trivial_result cfg 0.)
   end
-  else begin
+  else None
+
+(* What one construction run established, independent of how the
+   deleted / leftover mass is then sampled. *)
+type construction = {
+  c_pc : Xprob.t;
+  c_pd : Xprob.t;
+  c_layers : int;
+  c_max_width : int;
+  c_peak_state_words : int;
+  c_deleted_nodes : int;
+  c_stop : stop_reason;
+  c_s_reduced : int;
+}
+
+(* The layer-by-layer S2BDD construction (Section 4.3), parameterised
+   over [consume]: what happens to a node deleted at a saturated layer
+   or left over after an early abort. The fixed-budget estimator
+   enqueues descent tasks with randomised-rounding allocations; the
+   adaptive planner records each node as a sampling stratum. [consume]
+   receives the Theorem-1 budget [s_cur] current at consumption time,
+   the descent layer [pos], the node's frontier state and its mass —
+   and is responsible for any draws it makes on [rng] (the fixed
+   estimator's allocation draws stay on the construction stream, so its
+   stream consumption is bit-identical to the pre-refactor code). *)
+let construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume =
+  let m = F.n_positions ctx in
+  let key_fn = if cfg.merge_flags then F.key_flags else F.key_exact in
+  let pc = ref Xprob.zero and pd = ref Xprob.zero in
+  let s_cur = ref cfg.samples in
+  let deleted_nodes = ref 0 in
+  let max_width = ref 1 in
+  let peak_state_words = ref 0 in
+  let stagnant = ref 0 in
+  let stop = ref Completed in
+  let work = ref 0 in
+  let merges = ref 0 in
+  let deleted_mass = ref Xprob.zero in
+  let update_s_cur () =
+    s_cur :=
+      Samplesize.reduced ~s:cfg.samples
+        ~pc:(Xprob.to_float_approx !pc)
+        ~pd:(Xprob.to_float_approx !pd)
+  in
+  let current = ref (F.Key_table.create 16) in
+  F.Key_table.replace !current (key_fn F.initial) (F.initial, ref Xprob.one);
+    (* Remaining-degree table, decremented as each edge is processed so
+     the deletion heuristic reads d values in O(state size). *)
+  let rem = Array.init (Ugraph.n_vertices g) (Ugraph.degree g) in
+  let pos = ref 0 in
+  let t_build = Obs.now obs in
+  let t_construction = Trace.now trace in
+  while !stop = Completed && !pos < m && F.Key_table.length !current > 0 do
+    let t_layer = Trace.now trace in
+    let deleted_before = !deleted_nodes in
+    let e = F.edge_at ctx !pos in
+    let resolved_before =
+      Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
+    in
+    let next = F.Key_table.create (2 * F.Key_table.length !current) in
+    let expand key (st, pn) =
+      work := !work + (2 * (4 + Array.length key));
+      let branch exists weight =
+        if weight > 0. then begin
+          let p' = Xprob.scale weight !pn in
+          match F.step ctx ~eager:cfg.eager ~pos:!pos st ~exists with
+          | F.Sink1 -> pc := Xprob.add !pc p'
+          | F.Sink0 -> pd := Xprob.add !pd p'
+          | F.Live st' -> (
+            let key = key_fn st' in
+            match F.Key_table.find_opt next key with
+            | Some (_, acc) ->
+              incr merges;
+              acc := Xprob.add !acc p'
+            | None -> F.Key_table.replace next key (st', ref p'))
+        end
+      in
+      branch true e.Ugraph.p;
+      branch false (1. -. e.Ugraph.p)
+    in
+    F.Key_table.iter expand !current;
+    rem.(e.Ugraph.u) <- rem.(e.Ugraph.u) - 1;
+    if e.Ugraph.v <> e.Ugraph.u then rem.(e.Ugraph.v) <- rem.(e.Ugraph.v) - 1;
+    let width = F.Key_table.length next in
+    if width > !max_width then max_width := width;
+    update_s_cur ();
+    (* Deleting procedure: keep the top-w nodes by priority, sample
+       the rest right away (their states are discarded after). *)
+    let saturated = width > cfg.width in
+    if saturated then begin
+      let nodes = Array.make width (F.initial, Xprob.zero, 0.) in
+      let i = ref 0 in
+      F.Key_table.iter
+        (fun _ (st, pn) ->
+          let prio =
+            match cfg.heuristic with
+            | Paper_heuristic ->
+              F.heuristic_log2 ctx ~rem st ~log2_pn:(Xprob.log2 !pn)
+            | Random_deletion -> Prng.float rng
+          in
+          nodes.(!i) <- (st, !pn, prio);
+          incr i)
+        next;
+      Array.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) nodes;
+      F.Key_table.reset next;
+      for j = 0 to cfg.width - 1 do
+        let st, pn, _ = nodes.(j) in
+        F.Key_table.replace next (key_fn st) (st, ref pn)
+      done;
+      for j = cfg.width to width - 1 do
+        let st, pn, _ = nodes.(j) in
+        incr deleted_nodes;
+        deleted_mass := Xprob.add !deleted_mass pn;
+        consume ~s_cur:!s_cur ~pos:(!pos + 1) st pn
+      done
+    end;
+    let layer_words =
+      F.Key_table.fold
+        (fun key _ acc -> acc + Array.length key + 8)
+        next 0
+    in
+    if layer_words > !peak_state_words then peak_state_words := layer_words;
+    current := next;
+    incr pos;
+    (* Stagnation abort: saturated layers that no longer move the
+       bounds mean further construction cannot pay for itself. *)
+    let resolved_after =
+      Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
+    in
+    let gain = resolved_after -. resolved_before in
+    (* Per-layer trajectory: pre-deletion width and the resolved-mass
+       bounds after the layer (bounded series; see Obs.series). *)
+    Obs.series co "width" (float_of_int width);
+    Obs.series co "pc" (Xprob.to_float_approx !pc);
+    Obs.series co "pd" (Xprob.to_float_approx !pd);
+    if Trace.enabled trace then begin
+      Trace.complete trace ~ts:t_layer "layer"
+        ~args:
+          [
+            ("layer", Int !pos);
+            ("width", Int width);
+            ("pc", Float (Xprob.to_float_approx !pc));
+            ("pd", Float (Xprob.to_float_approx !pd));
+            ("deleted", Int (!deleted_nodes - deleted_before));
+          ];
+      Trace.counter trace "width" (float_of_int width)
+    end;
+    if saturated && gain < cfg.min_progress *. (1. -. resolved_before) then begin
+      incr stagnant;
+      if !stagnant >= cfg.patience then stop := Stagnated
+    end
+    else stagnant := 0;
+    (* Hard cap on construction effort: wide-frontier graphs whose
+       bounds keep crawling would otherwise dominate the run without
+       paying for themselves (the remaining mass falls back to
+       stratified sampling, which stays unbiased). *)
+    if !work > cfg.max_work then stop := Work_capped;
+    (* Convergence: when the live mass still undecided would receive
+       less than one descent under the current Theorem-1 budget,
+       further layers cannot reduce the sampling cost any more. Only
+       applies once deletion has made the run inexact anyway —
+       otherwise finishing yields the exact answer. *)
+    if !stop = Completed && !deleted_nodes > 0 && F.Key_table.length !current > 0
+    then begin
+      let live =
+        F.Key_table.fold (fun _ (_, pn) acc -> Xprob.add acc !pn) !current
+          Xprob.zero
+      in
+      if
+        float_of_int (max 1 !s_cur) *. Xprob.to_float_approx live < 1.0
+      then stop := Converged
+    end
+  done;
+  update_s_cur ();
+  if Trace.enabled trace then
+    Trace.complete trace ~ts:t_construction "construction"
+      ~args:
+        [
+          ("stop", Str (stop_reason_name !stop));
+          ("layers", Int !pos);
+          ("edges", Int m);
+          ("pc", Float (Xprob.to_float_approx !pc));
+          ("pd", Float (Xprob.to_float_approx !pd));
+          ("s_reduced", Int !s_cur);
+          ("deleted", Int !deleted_nodes);
+        ];
+  (* Leftover live nodes (early abort): each becomes its own sampling
+     stratum, exactly like a deleted node. *)
+  if F.Key_table.length !current > 0 then begin
+    if !pos >= m then
+      invalid_arg "S2bdd.estimate: live states after the final layer";
+    F.Key_table.iter
+      (fun _ (st, pn) -> consume ~s_cur:!s_cur ~pos:!pos st !pn)
+      !current
+  end;
+  Obs.record_span co "build" (Obs.now obs -. t_build);
+  Obs.add co "layers" !pos;
+  Obs.add co "merges" !merges;
+  Obs.add co "work" !work;
+  Obs.add co "deleted_nodes" !deleted_nodes;
+  Obs.gauge_max co "max_width" (float_of_int !max_width);
+  Obs.gauge_max co "peak_state_words" (float_of_int !peak_state_words);
+  Obs.gauge co "s_reduced" (float_of_int !s_cur);
+  Obs.text co "stop" (stop_reason_name !stop);
+  Obs.incr co ("stop_" ^ stop_reason_name !stop);
+  {
+    c_pc = !pc;
+    c_pd = !pd;
+    c_layers = !pos;
+    c_max_width = !max_width;
+    c_peak_state_words = !peak_state_words;
+    c_deleted_nodes = !deleted_nodes;
+    c_stop = !stop;
+    c_s_reduced = !s_cur;
+  }
+
+let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(config = default_config) g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  let cfg = config in
+  if cfg.samples <= 0 then invalid_arg "S2bdd.estimate: samples <= 0";
+  if cfg.width <= 0 then invalid_arg "S2bdd.estimate: width <= 0";
+  let co = Obs.sub obs "construction" in
+  match trivial_of cfg co g ~terminals with
+  | Some r -> r
+  | None ->
     let order = resolve_order cfg g ~terminals in
     let ctx = F.make g ~order ~terminals in
     let rng = Prng.create cfg.seed in
-    let m = F.n_positions ctx in
-    let key_fn = if cfg.merge_flags then F.key_flags else F.key_exact in
-    let pc = ref Xprob.zero and pd = ref Xprob.zero in
     let tasks = ref [] in
-    let s_cur = ref cfg.samples in
     let samples_drawn = ref 0 in
     let sampled_nodes = ref 0 in
-    let deleted_nodes = ref 0 in
-    let max_width = ref 1 in
-    let peak_state_words = ref 0 in
-    let stagnant = ref 0 in
-    let stop = ref Completed in
-    let work = ref 0 in
-    let merges = ref 0 in
-    let deleted_mass = ref Xprob.zero in
-    let update_s_cur () =
-      s_cur :=
-        Samplesize.reduced ~s:cfg.samples
-          ~pc:(Xprob.to_float_approx !pc)
-          ~pd:(Xprob.to_float_approx !pd)
-    in
     (* Consuming a node enqueues its descent task. Nodes with a
        meaningful share of the budget use the textbook stratified
        estimator (deterministic allocation, contribution [p_n * R^_n]);
@@ -219,8 +423,8 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
        where it would matter. Allocation draws stay on the
        construction stream; descent draws move to the task's split
        stream. *)
-    let consume_node ~pos st pn =
-      let s_eff = max 1 !s_cur in
+    let consume ~s_cur ~pos st pn =
+      let s_eff = max 1 s_cur in
       let x = float_of_int s_eff *. Xprob.to_float_approx pn in
       let enqueue n factor =
         tasks :=
@@ -237,166 +441,8 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         if n > 0 then enqueue n (float_of_int n /. float_of_int s_eff)
       end
     in
-    let current = ref (F.Key_table.create 16) in
-    F.Key_table.replace !current (key_fn F.initial) (F.initial, ref Xprob.one);
-    (* Remaining-degree table, decremented as each edge is processed so
-       the deletion heuristic reads d values in O(state size). *)
-    let rem = Array.init (Ugraph.n_vertices g) (Ugraph.degree g) in
-    let pos = ref 0 in
-    let t_build = Obs.now obs in
-    let t_construction = Trace.now trace in
-    while !stop = Completed && !pos < m && F.Key_table.length !current > 0 do
-      let t_layer = Trace.now trace in
-      let deleted_before = !deleted_nodes in
-      let e = F.edge_at ctx !pos in
-      let resolved_before =
-        Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
-      in
-      let next = F.Key_table.create (2 * F.Key_table.length !current) in
-      let expand key (st, pn) =
-        work := !work + (2 * (4 + Array.length key));
-        let branch exists weight =
-          if weight > 0. then begin
-            let p' = Xprob.scale weight !pn in
-            match F.step ctx ~eager:cfg.eager ~pos:!pos st ~exists with
-            | F.Sink1 -> pc := Xprob.add !pc p'
-            | F.Sink0 -> pd := Xprob.add !pd p'
-            | F.Live st' -> (
-              let key = key_fn st' in
-              match F.Key_table.find_opt next key with
-              | Some (_, acc) ->
-                incr merges;
-                acc := Xprob.add !acc p'
-              | None -> F.Key_table.replace next key (st', ref p'))
-          end
-        in
-        branch true e.Ugraph.p;
-        branch false (1. -. e.Ugraph.p)
-      in
-      F.Key_table.iter expand !current;
-      rem.(e.Ugraph.u) <- rem.(e.Ugraph.u) - 1;
-      if e.Ugraph.v <> e.Ugraph.u then rem.(e.Ugraph.v) <- rem.(e.Ugraph.v) - 1;
-      let width = F.Key_table.length next in
-      if width > !max_width then max_width := width;
-      update_s_cur ();
-      (* Deleting procedure: keep the top-w nodes by priority, sample
-         the rest right away (their states are discarded after). *)
-      let saturated = width > cfg.width in
-      if saturated then begin
-        let nodes = Array.make width (F.initial, Xprob.zero, 0.) in
-        let i = ref 0 in
-        F.Key_table.iter
-          (fun _ (st, pn) ->
-            let prio =
-              match cfg.heuristic with
-              | Paper_heuristic ->
-                F.heuristic_log2 ctx ~rem st ~log2_pn:(Xprob.log2 !pn)
-              | Random_deletion -> Prng.float rng
-            in
-            nodes.(!i) <- (st, !pn, prio);
-            incr i)
-          next;
-        Array.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) nodes;
-        F.Key_table.reset next;
-        for j = 0 to cfg.width - 1 do
-          let st, pn, _ = nodes.(j) in
-          F.Key_table.replace next (key_fn st) (st, ref pn)
-        done;
-        for j = cfg.width to width - 1 do
-          let st, pn, _ = nodes.(j) in
-          incr deleted_nodes;
-          deleted_mass := Xprob.add !deleted_mass pn;
-          consume_node ~pos:(!pos + 1) st pn
-        done
-      end;
-      let layer_words =
-        F.Key_table.fold
-          (fun key _ acc -> acc + Array.length key + 8)
-          next 0
-      in
-      if layer_words > !peak_state_words then peak_state_words := layer_words;
-      current := next;
-      incr pos;
-      (* Stagnation abort: saturated layers that no longer move the
-         bounds mean further construction cannot pay for itself. *)
-      let resolved_after =
-        Xprob.to_float_approx !pc +. Xprob.to_float_approx !pd
-      in
-      let gain = resolved_after -. resolved_before in
-      (* Per-layer trajectory: pre-deletion width and the resolved-mass
-         bounds after the layer (bounded series; see Obs.series). *)
-      Obs.series co "width" (float_of_int width);
-      Obs.series co "pc" (Xprob.to_float_approx !pc);
-      Obs.series co "pd" (Xprob.to_float_approx !pd);
-      if Trace.enabled trace then begin
-        Trace.complete trace ~ts:t_layer "layer"
-          ~args:
-            [
-              ("layer", Int !pos);
-              ("width", Int width);
-              ("pc", Float (Xprob.to_float_approx !pc));
-              ("pd", Float (Xprob.to_float_approx !pd));
-              ("deleted", Int (!deleted_nodes - deleted_before));
-            ];
-        Trace.counter trace "width" (float_of_int width)
-      end;
-      if saturated && gain < cfg.min_progress *. (1. -. resolved_before) then begin
-        incr stagnant;
-        if !stagnant >= cfg.patience then stop := Stagnated
-      end
-      else stagnant := 0;
-      (* Hard cap on construction effort: wide-frontier graphs whose
-         bounds keep crawling would otherwise dominate the run without
-         paying for themselves (the remaining mass falls back to
-         stratified sampling, which stays unbiased). *)
-      if !work > cfg.max_work then stop := Work_capped;
-      (* Convergence: when the live mass still undecided would receive
-         less than one descent under the current Theorem-1 budget,
-         further layers cannot reduce the sampling cost any more. Only
-         applies once deletion has made the run inexact anyway —
-         otherwise finishing yields the exact answer. *)
-      if !stop = Completed && !deleted_nodes > 0 && F.Key_table.length !current > 0
-      then begin
-        let live =
-          F.Key_table.fold (fun _ (_, pn) acc -> Xprob.add acc !pn) !current
-            Xprob.zero
-        in
-        if
-          float_of_int (max 1 !s_cur) *. Xprob.to_float_approx live < 1.0
-        then stop := Converged
-      end
-    done;
-    update_s_cur ();
-    if Trace.enabled trace then
-      Trace.complete trace ~ts:t_construction "construction"
-        ~args:
-          [
-            ("stop", Str (stop_reason_name !stop));
-            ("layers", Int !pos);
-            ("edges", Int m);
-            ("pc", Float (Xprob.to_float_approx !pc));
-            ("pd", Float (Xprob.to_float_approx !pd));
-            ("s_reduced", Int !s_cur);
-            ("deleted", Int !deleted_nodes);
-          ];
-    (* Leftover live nodes (early abort): each becomes its own sampling
-       stratum, exactly like a deleted node. *)
-    if F.Key_table.length !current > 0 then begin
-      if !pos >= m then
-        invalid_arg "S2bdd.estimate: live states after the final layer";
-      F.Key_table.iter (fun _ (st, pn) -> consume_node ~pos:!pos st !pn) !current
-    end;
-    Obs.record_span co "build" (Obs.now obs -. t_build);
-    Obs.add co "layers" !pos;
-    Obs.add co "merges" !merges;
-    Obs.add co "work" !work;
-    Obs.add co "deleted_nodes" !deleted_nodes;
+    let c = construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume in
     Obs.add co "sampled_nodes" !sampled_nodes;
-    Obs.gauge_max co "max_width" (float_of_int !max_width);
-    Obs.gauge_max co "peak_state_words" (float_of_int !peak_state_words);
-    Obs.gauge co "s_reduced" (float_of_int !s_cur);
-    Obs.text co "stop" (stop_reason_name !stop);
-    Obs.incr co ("stop_" ^ stop_reason_name !stop);
     (* Stratified descents: every consumed node is an independent task;
        run them on the pool (or inline) and fold the per-task
        contributions in consumption order. *)
@@ -439,14 +485,14 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
       (if !descent_secs > 0. then
          float_of_int !samples_drawn /. !descent_secs
        else 0.);
-    let lower = Xprob.to_float_approx !pc in
+    let lower = Xprob.to_float_approx c.c_pc in
     (* [pc] and [pd] are each correct to an ulp, but the float rounding
        of [1 - pd] is independent of [pc]'s, so on a fully resolved run
        (pc + pd = 1) the two float bounds can cross by an ulp. Keep the
        interval well-formed: [lower <= upper] is part of the result's
        contract. *)
-    let upper = Float.max lower (1. -. Xprob.to_float_approx !pd) in
-    let exact = !deleted_nodes = 0 && !stop = Completed in
+    let upper = Float.max lower (1. -. Xprob.to_float_approx c.c_pd) in
+    let exact = c.c_deleted_nodes = 0 && c.c_stop = Completed in
     (* The stratified contribution is an unbiased estimate of the mass
        between the proven bounds, but a realisation can overshoot them
        (even past 1) under sampling noise. Clamp at the source so every
@@ -470,18 +516,159 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
       value;
       lower;
       upper;
-      pc = !pc;
-      pd = !pd;
+      pc = c.c_pc;
+      pd = c.c_pd;
       exact;
       s_given = cfg.samples;
-      s_reduced = !s_cur;
+      s_reduced = c.c_s_reduced;
       samples_drawn = !samples_drawn;
       sampled_nodes = !sampled_nodes;
-      deleted_nodes = !deleted_nodes;
-      layers_built = !pos;
-      max_width = !max_width;
-      peak_state_words = !peak_state_words;
-      aborted = !stop <> Completed;
-      stop = !stop;
+      deleted_nodes = c.c_deleted_nodes;
+      layers_built = c.c_layers;
+      max_width = c.c_max_width;
+      peak_state_words = c.c_peak_state_words;
+      aborted = c.c_stop <> Completed;
+      stop = c.c_stop;
     }
-  end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive sampling plans                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One sampling stratum of an adaptive plan: a deleted (or leftover)
+   node, its mass, and its own descent stream. [sm_drawn]/[sm_hits]
+   accumulate across rounds; because the stream is private and advanced
+   sequentially, the counters after a total of [n] draws do not depend
+   on how the rounds partitioned [n] — nor on which domain ran them. *)
+type stratum = {
+  sm_pos : int;
+  sm_state : F.state;
+  sm_mass : float;
+  sm_rng : Prng.t;
+  mutable sm_drawn : int;
+  mutable sm_hits : int;
+}
+
+type plan = {
+  p_ctx : F.ctx;
+  p_construction : construction;
+  p_strata : stratum array;
+}
+
+type prepared =
+  | Exact of result  (* trivial, or construction resolved every node *)
+  | Sampling of plan
+
+let construction_result cfg c ~value ~samples_drawn ~sampled_nodes =
+  let lower = Xprob.to_float_approx c.c_pc in
+  let upper = Float.max lower (1. -. Xprob.to_float_approx c.c_pd) in
+  {
+    value = Float.max lower (Float.min upper value);
+    lower;
+    upper;
+    pc = c.c_pc;
+    pd = c.c_pd;
+    exact = c.c_deleted_nodes = 0 && c.c_stop = Completed;
+    s_given = cfg.samples;
+    s_reduced = c.c_s_reduced;
+    samples_drawn;
+    sampled_nodes;
+    deleted_nodes = c.c_deleted_nodes;
+    layers_built = c.c_layers;
+    max_width = c.c_max_width;
+    peak_state_words = c.c_peak_state_words;
+    aborted = c.c_stop <> Completed;
+    stop = c.c_stop;
+  }
+
+let prepare ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(config = default_config) g ~terminals =
+  Ugraph.validate_terminals g terminals;
+  let cfg = config in
+  if cfg.samples <= 0 then invalid_arg "S2bdd.prepare: samples <= 0";
+  if cfg.width <= 0 then invalid_arg "S2bdd.prepare: width <= 0";
+  let co = Obs.sub obs "construction" in
+  match trivial_of cfg co g ~terminals with
+  | Some r -> Exact r
+  | None ->
+    let order = resolve_order cfg g ~terminals in
+    let ctx = F.make g ~order ~terminals in
+    let rng = Prng.create cfg.seed in
+    let strata = ref [] in
+    (* Every consumed node becomes a stratum with its own split stream;
+       no allocation draws happen here — the adaptive driver decides
+       budgets between rounds (Neyman allocation), so the plan only has
+       to remember mass and position. *)
+    let consume ~s_cur:_ ~pos st pn =
+      strata :=
+        {
+          sm_pos = pos;
+          sm_state = st;
+          sm_mass = Xprob.to_float_approx pn;
+          sm_rng = Prng.split rng;
+          sm_drawn = 0;
+          sm_hits = 0;
+        }
+        :: !strata
+    in
+    let c = construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume in
+    let strata = Array.of_list (List.rev !strata) in
+    Obs.add co "sampled_nodes" (Array.length strata);
+    if Array.length strata = 0 then
+      Exact (construction_result cfg c ~value:(Xprob.to_float_approx c.c_pc)
+               ~samples_drawn:0 ~sampled_nodes:0)
+    else Sampling { p_ctx = ctx; p_construction = c; p_strata = strata }
+
+let plan_bounds p =
+  let lower = Xprob.to_float_approx p.p_construction.c_pc in
+  (lower, Float.max lower (1. -. Xprob.to_float_approx p.p_construction.c_pd))
+
+let n_strata p = Array.length p.p_strata
+let stratum_mass p i = p.p_strata.(i).sm_mass
+let stratum_drawn p i = p.p_strata.(i).sm_drawn
+let stratum_hits p i = p.p_strata.(i).sm_hits
+
+(* Draw [n] more Monte-Carlo descents for stratum [i]. Strata are
+   independent (private stream, private counters, per-call scratch), so
+   distinct strata may be drawn concurrently; the {e same} stratum must
+   not. Adaptive sampling always descends with the plain MC indicator —
+   the HT within-node dedup needs the final per-node total up front,
+   which an adaptive budget does not know. *)
+let draw_stratum p i ~n =
+  if n <= 0 then invalid_arg "S2bdd.draw_stratum: n <= 0";
+  let s = p.p_strata.(i) in
+  let sc = Kernel.scratch () in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    let connected, _, _ =
+      descend_detailed p.p_ctx sc s.sm_rng ~detail:false ~pos:s.sm_pos
+        s.sm_state
+    in
+    if connected then incr hits
+  done;
+  s.sm_drawn <- s.sm_drawn + n;
+  s.sm_hits <- s.sm_hits + !hits
+
+(* The plan's current stratified point estimate packaged as a [result]
+   (same clamping contract as [estimate]); the adaptive driver owns the
+   confidence interval, this owns the bookkeeping fields. *)
+let plan_result cfg p =
+  let c = p.p_construction in
+  let lower = Xprob.to_float_approx c.c_pc in
+  let contribution =
+    Array.fold_left
+      (fun acc s ->
+        if s.sm_drawn > 0 then
+          acc
+          +. s.sm_mass *. float_of_int s.sm_hits /. float_of_int s.sm_drawn
+        else acc)
+      0. p.p_strata
+  in
+  let drawn = Array.fold_left (fun acc s -> acc + s.sm_drawn) 0 p.p_strata in
+  let sampled =
+    Array.fold_left
+      (fun acc s -> if s.sm_drawn > 0 then acc + 1 else acc)
+      0 p.p_strata
+  in
+  construction_result cfg p.p_construction ~value:(lower +. contribution)
+    ~samples_drawn:drawn ~sampled_nodes:sampled

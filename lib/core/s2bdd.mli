@@ -143,3 +143,66 @@ val estimate :
     assigned at enqueue time and the per-task contributions fold in
     consumption order, so the result is {b bit-identical} with and
     without a pool, at any pool size. *)
+
+(** {2 Adaptive sampling plans}
+
+    The sequential-stopping driver ({!Adaptive}) cannot use {!estimate}
+    directly: the fixed path allocates every node's descent budget at
+    deletion time. [prepare] runs the {e same} construction (same
+    config, same heuristic draws, same stop rules) but records each
+    deleted/leftover node as a {e stratum} — mass, frontier state,
+    descent layer and a private {!Prng.split} stream — and leaves all
+    budget decisions to the caller, who draws between rounds with
+    {!draw_stratum} (Neyman re-allocation lives in the driver).
+
+    Determinism: a stratum's stream is private and advanced
+    sequentially, so its [(drawn, hits)] counters after a total of [n]
+    draws do not depend on the round schedule that reached [n], nor on
+    which domain ran the rounds. Distinct strata may be drawn
+    concurrently; the same stratum must never be drawn from two domains
+    at once. *)
+
+type plan
+(** A prepared construction with unresolved mass: proven bounds plus
+    the strata awaiting samples. *)
+
+type prepared =
+  | Exact of result
+      (** trivial input, or the construction resolved every node — the
+          answer is exact and nothing needs sampling *)
+  | Sampling of plan
+
+val prepare :
+  ?obs:Obs.t -> ?trace:Trace.t -> ?config:config ->
+  Ugraph.t -> terminals:int list -> prepared
+(** Run the construction and return the sampling plan (or the exact
+    answer). [config.samples] still seeds the Theorem-1 budget reduction
+    that drives the convergence stop rule; it does not allocate any
+    descents. Obs/trace instrumentation matches {!estimate}'s
+    construction phase. @raise Invalid_argument as {!estimate}. *)
+
+val plan_bounds : plan -> float * float
+(** [(lower, upper)] proven bounds [pc, 1 - pd] (same ulp guard as
+    {!result.upper}). The gap is the mass the strata carry. *)
+
+val n_strata : plan -> int
+(** At least [1]. *)
+
+val stratum_mass : plan -> int -> float
+val stratum_drawn : plan -> int -> int
+val stratum_hits : plan -> int -> int
+
+val draw_stratum : plan -> int -> n:int -> unit
+(** [draw_stratum p i ~n] performs [n] more Monte-Carlo DP descents
+    from stratum [i]'s frontier state and folds them into its counters.
+    Adaptive descents always use the plain MC indicator — the HT
+    within-node deduplication needs the node's final sample total up
+    front, which sequential stopping cannot know.
+    @raise Invalid_argument when [n <= 0]. *)
+
+val plan_result : config -> plan -> result
+(** Package the plan's current stratified point estimate
+    [lower + sum_i mass_i * hits_i / drawn_i] (strata still at zero
+    draws contribute zero) as a {!result} — same clamping contract as
+    {!estimate}; [samples_drawn]/[sampled_nodes] reflect the draws so
+    far. The confidence interval around it is the driver's job. *)

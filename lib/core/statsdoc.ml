@@ -14,7 +14,10 @@ type run = {
 let schema_version = 1
 
 let required_keys =
-  [ "netrel"; "run"; "preprocess"; "construction"; "sampling"; "par"; "result" ]
+  [
+    "netrel"; "run"; "preprocess"; "construction"; "sampling"; "adaptive";
+    "par"; "result";
+  ]
 
 let phase rendered name =
   match J.member name rendered with Some v -> v | None -> J.Obj []
@@ -33,9 +36,12 @@ let result_of_report (r : Reliability.report) =
     ]
 
 let result_of_estimate (e : Mcsampling.estimate) =
+  let lower, upper = Mcsampling.interval e in
   J.Obj
     [
       ("value", J.Float e.value);
+      ("lower", J.Float lower);
+      ("upper", J.Float upper);
       ("samples_used", J.Int e.samples_used);
       ("hits", J.Int e.hits);
       ("distinct", J.Int e.distinct);
@@ -46,6 +52,22 @@ let result_of_estimate (e : Mcsampling.estimate) =
 
 let result_value ~value ~exact =
   J.Obj [ ("value", J.Float value); ("exact", J.Bool exact) ]
+
+let result_of_adaptive ~value ~lower ~upper ~exact ~ci_width ~target_width
+    ~samples_used ~samples_planned ~rounds ~stop =
+  J.Obj
+    [
+      ("value", J.Float value);
+      ("lower", J.Float lower);
+      ("upper", J.Float upper);
+      ("exact", J.Bool exact);
+      ("ci_width", J.Float ci_width);
+      ("target_width", J.Float target_width);
+      ("samples_used", J.Int samples_used);
+      ("samples_planned", J.Int samples_planned);
+      ("rounds", J.Int rounds);
+      ("stop", J.Str stop);
+    ]
 
 let build ~obs ~run ~seconds ~result =
   let rendered = Obs.to_json obs in
@@ -79,6 +101,7 @@ let build ~obs ~run ~seconds ~result =
       ("preprocess", phase rendered "preprocess");
       ("construction", phase rendered "construction");
       ("sampling", phase rendered "sampling");
+      ("adaptive", phase rendered "adaptive");
       ("par", par_section);
       ("result", result);
     ]

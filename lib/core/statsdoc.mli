@@ -4,7 +4,7 @@
 
     The document's top level is fixed: [netrel] (emitter identity and
     schema version), [run] (what was asked), [preprocess],
-    [construction], [sampling] and [par] (the per-phase accounts
+    [construction], [sampling], [adaptive] and [par] (the per-phase accounts
     recorded into an {!Obs.t} during the run — empty objects for phases
     that did not execute), and [result] (what came out). Keys inside
     the phase objects are sorted ({!Obs.to_json}), so for a fixed seed
@@ -32,8 +32,19 @@ val result_of_report : Reliability.report -> Obs.Json.t
     budgets and the subproblem count. *)
 
 val result_of_estimate : Mcsampling.estimate -> Obs.Json.t
-(** [result] object for a plain sampler run: value, samples, hits,
-    distinct, variance and the chunk count. *)
+(** [result] object for a plain sampler run: value, the 95% Wilson
+    [lower]/[upper] bounds ({!Mcsampling.interval} — nonzero width even
+    at 0 or [n] hits, unlike the Wald interval [variance_estimate]
+    implies), samples, hits, distinct, variance and the chunk count. *)
+
+val result_of_adaptive :
+  value:float -> lower:float -> upper:float -> exact:bool ->
+  ci_width:float -> target_width:float -> samples_used:int ->
+  samples_planned:int -> rounds:int -> stop:string -> Obs.Json.t
+(** [result] object for a sequential-stopping run (labelled arguments
+    because the adaptive driver lives above this library): the stopped
+    point estimate, its realised interval and width against the target,
+    the sample account, the round count and the stop reason. *)
 
 val result_value : value:float -> exact:bool -> Obs.Json.t
 (** Minimal [result] object (exact BDD / brute force). *)

@@ -88,19 +88,27 @@ let chunk_streams ~seed n =
   let master = Prng.create seed in
   Array.init n (fun _ -> Prng.split master)
 
-(* The 95% normal-approximation half-width the estimate instant
-   carries, clamped at 0 for the degenerate all-hit / no-hit cases. *)
-let ci_half variance = 1.96 *. Float.sqrt (Float.max 0. variance)
+(* The 95% interval an estimate carries. Wald
+   (value ± 1.96 sqrt(variance)) collapsed to a zero-width interval
+   whenever hits ∈ {0, n} — a false certificate in exactly the
+   high-reliability regime — so the reported bounds are the Wilson
+   score interval on (value, n) instead; the raw Wald variance stays
+   available in [variance_estimate] and under the
+   [sampling.wald_variance] Obs gauge. The trivial k < 2 answer drew
+   nothing and is exact, so it reports the point interval. *)
+let interval ?z ?(method_ = Relstats.Wilson) (e : estimate) =
+  if e.samples_used = 0 then (e.value, e.value)
+  else Relstats.interval ?z method_ ~phat:e.value ~n:e.samples_used
 
 let emit_estimate trace (e : estimate) =
   if Trace.enabled trace then begin
-    let hw = ci_half e.variance_estimate in
+    let lower, upper = interval e in
     Trace.instant trace "estimate"
       ~args:
         [
           ("value", Float e.value);
-          ("lower", Float (Float.max 0. (e.value -. hw)));
-          ("upper", Float (Float.min 1. (e.value +. hw)));
+          ("lower", Float lower);
+          ("upper", Float upper);
           ("samples", Int e.samples_used);
         ]
   end;
@@ -196,13 +204,15 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
     Obs.add o "kernel.samples" samples;
     Obs.gauge o "kernel.samples_per_sec"
       (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
+    let variance_estimate = value *. (1. -. value) /. float_of_int samples in
+    Obs.gauge o "wald_variance" variance_estimate;
     emit_estimate trace
       {
         value;
         samples_used = samples;
         hits;
         distinct = 0;
-        variance_estimate = value *. (1. -. value) /. float_of_int samples;
+        variance_estimate;
         jobs_used = Par.effective_jobs jobs;
         chunk_samples = Array.map snd chunks;
       }
@@ -376,6 +386,7 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
     Obs.add o "kernel.samples" samples;
     Obs.gauge o "kernel.samples_per_sec"
       (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
+    Obs.gauge o "wald_variance" (Float.max 0. v);
     emit_estimate trace
       {
         value;
@@ -517,4 +528,296 @@ module Reference = struct
         chunk_samples = Array.map snd chunks;
       }
     end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental chunked drawing (sequential stopping)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The adaptive driver (lib/adaptive) draws rounds of samples until a
+   CI target is met, so the total budget is not known up front. The
+   chunk-stream discipline extends naturally: the sampler retains the
+   master generator and splits one fresh stream per chunk as chunks are
+   scheduled, in global chunk order — exactly the assignment
+   [chunk_streams] would have produced had the final total been known,
+   except that chunk boundaries follow the round schedule rather than
+   one balanced partition. A run is therefore replayable from
+   [(seed, round schedule)], and since the schedule is itself a
+   deterministic function of the observed hit counts, from [(seed,
+   ci_width, max_samples)] alone; [jobs] only places chunks on domains
+   and never affects which streams exist or the fold order. *)
+module Chunked = struct
+  type mc = {
+    mc_csr : Kernel.Csr.t;
+    mc_terms : int array;
+    mc_kernel : kernel_mode;
+    mc_master : Prng.t;
+    mc_jobs : int;
+    mc_obs : Obs.t;
+    mc_trace : Trace.t;
+    mutable mc_samples : int;
+    mutable mc_hits : int;
+    mutable mc_chunks : int;
+    mutable mc_schedule : int list; (* chunk lengths, most recent first *)
+    mutable mc_kernel_secs : float;
+  }
+
+  let create_common ~obs ~kernel ~estimator g ~terminals ~jobs =
+    Ugraph.validate_terminals g terminals;
+    if jobs <= 0 then invalid_arg "Mcsampling.Chunked: jobs <= 0";
+    if List.length terminals < 2 then
+      invalid_arg "Mcsampling.Chunked: fewer than 2 terminals (trivial case)";
+    let o = Obs.sub obs "sampling" in
+    Obs.text o "estimator" estimator;
+    Obs.text o "kernel.mode" (kernel_mode_name kernel);
+    o
+
+  let mc_create ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
+      ?(jobs = 1) ?(kernel = Flat) g ~terminals =
+    let o = create_common ~obs ~kernel ~estimator:"mc" g ~terminals ~jobs in
+    {
+      mc_csr = Kernel.Csr.of_graph g;
+      mc_terms = Array.of_list terminals;
+      mc_kernel = kernel;
+      mc_master = Prng.create seed;
+      mc_jobs = jobs;
+      mc_obs = o;
+      mc_trace = trace;
+      mc_samples = 0;
+      mc_hits = 0;
+      mc_chunks = 0;
+      mc_schedule = [];
+      mc_kernel_secs = 0.;
+    }
+
+  (* One round: split the new chunks' streams off the retained master
+     (in chunk order, before any chunk runs), dispatch on the pool, and
+     fold hits in chunk order — the same shape as the fixed-budget
+     sampler, just resumable. *)
+  let mc_draw t ~samples =
+    if samples <= 0 then invalid_arg "Mcsampling.Chunked.mc_draw: samples <= 0";
+    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let n = Array.length chunks in
+    let rngs = Array.init n (fun _ -> Prng.split t.mc_master) in
+    let lanes = Par.effective_jobs t.mc_jobs in
+    let base = t.mc_chunks in
+    let t_kernel = Obs.now t.mc_obs in
+    let chunk_hits =
+      Par.run_jobs ~jobs:t.mc_jobs n (fun i ->
+          let tr = Trace.task t.mc_trace ~lane:(i mod lanes) in
+          let ts = Trace.now tr in
+          let t0 = Obs.now t.mc_obs in
+          let _, len = chunks.(i) in
+          let rng = rngs.(i) in
+          let hits =
+            match t.mc_kernel with
+            | Flat -> mc_chunk_flat t.mc_csr t.mc_terms rng len
+            | Bitsliced -> mc_chunk_bitsliced t.mc_csr t.mc_terms rng len
+          in
+          Trace.complete tr ~ts "mc.chunk"
+            ~args:
+              [
+                ("chunk", Int (base + i));
+                ("samples", Int len);
+                ("hits", Int hits);
+              ];
+          (hits, Obs.now t.mc_obs -. t0, tr))
+    in
+    t.mc_kernel_secs <- t.mc_kernel_secs +. (Obs.now t.mc_obs -. t_kernel);
+    let hits =
+      Array.fold_left
+        (fun acc (h, dt, tr) ->
+          Obs.record_span t.mc_obs "chunk" dt;
+          Trace.merge ~into:t.mc_trace tr;
+          acc + h)
+        0 chunk_hits
+    in
+    t.mc_samples <- t.mc_samples + samples;
+    t.mc_hits <- t.mc_hits + hits;
+    t.mc_chunks <- t.mc_chunks + n;
+    Array.iter (fun (_, len) -> t.mc_schedule <- len :: t.mc_schedule) chunks;
+    Obs.add t.mc_obs "samples" samples;
+    Obs.add t.mc_obs "hits" hits;
+    Obs.add t.mc_obs "connectivity_checks" samples;
+    Obs.add t.mc_obs "kernel.samples" samples
+
+  let mc_samples t = t.mc_samples
+  let mc_hits t = t.mc_hits
+
+  let mc_estimate t =
+    if t.mc_samples = 0 then
+      invalid_arg "Mcsampling.Chunked.mc_estimate: no samples drawn";
+    let value = float_of_int t.mc_hits /. float_of_int t.mc_samples in
+    let variance_estimate =
+      value *. (1. -. value) /. float_of_int t.mc_samples
+    in
+    Obs.gauge t.mc_obs "kernel.samples_per_sec"
+      (if t.mc_kernel_secs > 0. then
+         float_of_int t.mc_samples /. t.mc_kernel_secs
+       else 0.);
+    Obs.gauge t.mc_obs "wald_variance" variance_estimate;
+    emit_estimate t.mc_trace
+      {
+        value;
+        samples_used = t.mc_samples;
+        hits = t.mc_hits;
+        distinct = 0;
+        variance_estimate;
+        jobs_used = Par.effective_jobs t.mc_jobs;
+        chunk_samples = Array.of_list (List.rev t.mc_schedule);
+      }
+
+  (* HT weights depend on the final total n (pi = 1 - (1-q)^n), so the
+     incremental sampler keeps every chunk's dedup table and replays
+     the ordered merge and the weighted fold at each [ht_estimate] —
+     the merge result for the chunks drawn so far is exactly what the
+     fixed-budget sampler would have computed for that total. *)
+  type ht_chunk = {
+    hc_tab : (int, Xprob.t * bool) Hashtbl.t;
+    hc_order : int array;
+    hc_n_order : int;
+  }
+
+  type ht = {
+    ht_csr : Kernel.Csr.t;
+    ht_terms : int array;
+    ht_kernel : kernel_mode;
+    ht_master : Prng.t;
+    ht_jobs : int;
+    ht_obs : Obs.t;
+    ht_trace : Trace.t;
+    mutable ht_samples : int;
+    mutable ht_chunks : int;
+    mutable ht_tables : ht_chunk list; (* most recent first *)
+    mutable ht_schedule : int list;
+    mutable ht_kernel_secs : float;
+  }
+
+  let ht_create ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
+      ?(jobs = 1) ?(kernel = Flat) g ~terminals =
+    let o = create_common ~obs ~kernel ~estimator:"ht" g ~terminals ~jobs in
+    {
+      ht_csr = Kernel.Csr.of_graph g;
+      ht_terms = Array.of_list terminals;
+      ht_kernel = kernel;
+      ht_master = Prng.create seed;
+      ht_jobs = jobs;
+      ht_obs = o;
+      ht_trace = trace;
+      ht_samples = 0;
+      ht_chunks = 0;
+      ht_tables = [];
+      ht_schedule = [];
+      ht_kernel_secs = 0.;
+    }
+
+  let ht_draw t ~samples =
+    if samples <= 0 then invalid_arg "Mcsampling.Chunked.ht_draw: samples <= 0";
+    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let n = Array.length chunks in
+    let rngs = Array.init n (fun _ -> Prng.split t.ht_master) in
+    let lanes = Par.effective_jobs t.ht_jobs in
+    let base = t.ht_chunks in
+    let t_kernel = Obs.now t.ht_obs in
+    let chunk_tables =
+      Par.run_jobs ~jobs:t.ht_jobs n (fun i ->
+          let tr = Trace.task t.ht_trace ~lane:(i mod lanes) in
+          let ts = Trace.now tr in
+          let t0 = Obs.now t.ht_obs in
+          let _, len = chunks.(i) in
+          let rng = rngs.(i) in
+          let seen, order, n_order =
+            match t.ht_kernel with
+            | Flat -> ht_chunk_flat t.ht_csr t.ht_terms rng len
+            | Bitsliced -> ht_chunk_bitsliced t.ht_csr t.ht_terms rng len
+          in
+          Trace.complete tr ~ts "ht.chunk"
+            ~args:
+              [
+                ("chunk", Int (base + i));
+                ("samples", Int len);
+                ("unique", Int (Hashtbl.length seen));
+                ("drawn", Int len);
+              ];
+          ( { hc_tab = seen; hc_order = order; hc_n_order = n_order },
+            Obs.now t.ht_obs -. t0,
+            tr ))
+    in
+    t.ht_kernel_secs <- t.ht_kernel_secs +. (Obs.now t.ht_obs -. t_kernel);
+    Array.iter
+      (fun (hc, dt, tr) ->
+        Obs.record_span t.ht_obs "chunk" dt;
+        Trace.merge ~into:t.ht_trace tr;
+        t.ht_tables <- hc :: t.ht_tables)
+      chunk_tables;
+    t.ht_samples <- t.ht_samples + samples;
+    t.ht_chunks <- t.ht_chunks + n;
+    Array.iter (fun (_, len) -> t.ht_schedule <- len :: t.ht_schedule) chunks;
+    Obs.add t.ht_obs "samples" samples;
+    Obs.add t.ht_obs "kernel.samples" samples
+
+  let ht_samples t = t.ht_samples
+
+  let ht_estimate t =
+    if t.ht_samples = 0 then
+      invalid_arg "Mcsampling.Chunked.ht_estimate: no samples drawn";
+    let samples = t.ht_samples in
+    let tables = List.rev t.ht_tables in
+    let entries, n_entries =
+      Trace.span t.ht_trace "ht.merge" @@ fun () ->
+      Obs.time t.ht_obs "merge" @@ fun () ->
+      let bound =
+        List.fold_left (fun acc hc -> acc + hc.hc_n_order) 0 tables
+      in
+      let merged : (int, unit) Hashtbl.t = Hashtbl.create bound in
+      let entries = Array.make (max bound 1) (Xprob.one, false) in
+      let cursor = ref 0 in
+      List.iter
+        (fun hc ->
+          for j = 0 to hc.hc_n_order - 1 do
+            let h = hc.hc_order.(j) in
+            if not (Hashtbl.mem merged h) then begin
+              Hashtbl.add merged h ();
+              entries.(!cursor) <- Hashtbl.find hc.hc_tab h;
+              incr cursor
+            end
+          done)
+        tables;
+      (entries, !cursor)
+    in
+    let s_f = float_of_int samples in
+    let hits = ref 0 in
+    let value = ref 0. in
+    let correction = ref 0. in
+    for j = 0 to n_entries - 1 do
+      let q, connected = entries.(j) in
+      if connected then begin
+        incr hits;
+        value := !value +. ht_weight_x q samples;
+        correction :=
+          !correction +. ((s_f -. 1.) *. Xprob.to_float_approx (Xprob.mul q q))
+      end
+    done;
+    let hits = !hits and value = !value and correction = !correction in
+    let v = (value *. (1. -. value) /. s_f) -. (correction /. (2. *. s_f)) in
+    if v < 0. then begin
+      Obs.incr t.ht_obs "variance_clamped";
+      Obs.gauge t.ht_obs "raw_variance" v
+    end;
+    Obs.gauge t.ht_obs "dedup_ratio" (float_of_int n_entries /. s_f);
+    Obs.gauge t.ht_obs "kernel.samples_per_sec"
+      (if t.ht_kernel_secs > 0. then
+         float_of_int samples /. t.ht_kernel_secs
+       else 0.);
+    Obs.gauge t.ht_obs "wald_variance" (Float.max 0. v);
+    emit_estimate t.ht_trace
+      {
+        value;
+        samples_used = samples;
+        hits;
+        distinct = n_entries;
+        variance_estimate = Float.max 0. v;
+        jobs_used = Par.effective_jobs t.ht_jobs;
+        chunk_samples = Array.of_list (List.rev t.ht_schedule);
+      }
 end

@@ -83,6 +83,22 @@ val kernel_mode_name : kernel_mode -> string
 (** ["flat"] / ["bitsliced"] — the [sampling.kernel.mode] Obs text and
     the CLI [--kernel] spelling. *)
 
+val chunk_target : int
+(** Samples per chunk (currently 4096) — part of the determinism
+    contract: chunk [i] of a budget always covers the same sample
+    indices and draws from the [i]-th split stream. The adaptive driver
+    sizes its rounds in these units. *)
+
+val interval :
+  ?z:float -> ?method_:Relstats.interval_method -> estimate -> float * float
+(** [(lower, upper)] confidence interval for an estimate, default the
+    95% Wilson score interval on [(value, samples_used)] — in contrast
+    to the Wald interval implied by [variance_estimate], it keeps a
+    nonzero width at [hits ∈ {0, n}] (a 0-hit run has [upper > 0]).
+    [value] is clamped into [[0, 1]] first (HT can overshoot under
+    sampling noise). The trivial [k < 2] estimate ([samples_used = 0])
+    is exact and reports the point interval [(value, value)]. *)
+
 val mask_hash : bool array -> int -> int
 (** [mask_hash present m] is the non-negative 62-bit content hash of the
     first [m] mask bits ({!Hash64.mask}) identifying a sampled possible
@@ -155,4 +171,55 @@ module Reference : sig
 
   val horvitz_thompson :
     ?seed:int -> Ugraph.t -> terminals:int list -> samples:int -> estimate
+end
+
+(** Incremental chunked drawing for the sequential-stopping driver
+    ({!Adaptive}): the same kernels, chunk streams and ordered
+    reductions as the fixed-budget samplers, but resumable — the
+    sampler retains the master generator and splits one fresh stream
+    per chunk as rounds request more samples, in global chunk order.
+    A run is replayable from [(seed, round schedule)]; [jobs] only
+    places chunks on domains. The chunk {e boundaries} follow the
+    round schedule rather than one balanced partition of the final
+    total, so an adaptive run and a fixed-budget run of the same total
+    are two different (each internally deterministic) draws.
+
+    Drawing functions raise [Invalid_argument] on non-positive sample
+    counts; [*_create] rejects invalid terminals, [jobs <= 0] and the
+    trivial [k < 2] case (the caller answers it without sampling).
+    [*_estimate] raises until at least one draw happened. *)
+module Chunked : sig
+  type mc
+  type ht
+
+  val mc_create :
+    ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+    ?kernel:kernel_mode -> Ugraph.t -> terminals:int list -> mc
+
+  val mc_draw : mc -> samples:int -> unit
+  (** Draw one round of [samples] more samples (split into
+      {!chunk_target}-sized chunks, dispatched over the domain pool,
+      folded in chunk order). *)
+
+  val mc_samples : mc -> int
+  val mc_hits : mc -> int
+
+  val mc_estimate : mc -> estimate
+  (** The Monte-Carlo estimate over everything drawn so far;
+      [chunk_samples] records the actual chunk schedule. *)
+
+  val ht_create :
+    ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+    ?kernel:kernel_mode -> Ugraph.t -> terminals:int list -> ht
+
+  val ht_draw : ht -> samples:int -> unit
+
+  val ht_samples : ht -> int
+
+  val ht_estimate : ht -> estimate
+  (** The Horvitz–Thompson estimate over everything drawn so far. HT
+      weights depend on the total sample count, so each call replays
+      the ordered merge of all per-chunk dedup tables and the
+      pi-weighted fold at the current total — identical to what the
+      fixed-budget sampler computes for that total and schedule. *)
 end

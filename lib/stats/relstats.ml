@@ -37,13 +37,21 @@ let mean xs =
   if Array.length xs = 0 then invalid_arg "Relstats.mean: empty";
   Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
+(* Sample (n-1) estimator: the population divisor biased the spread of
+   the small bench [repeats] low. A single observation carries no
+   spread information, so n <= 1 reports 0. *)
 let std_dev xs =
-  let m = mean xs in
-  let v =
-    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
-    /. float_of_int (Array.length xs)
-  in
-  sqrt v
+  let n = Array.length xs in
+  if n <= 1 then (
+    ignore (mean xs) (* keeps the empty-input Invalid_argument *);
+    0.)
+  else
+    let m = mean xs in
+    let v =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (n - 1)
+    in
+    sqrt v
 
 let quantile xs q =
   if Array.length xs = 0 then invalid_arg "Relstats.quantile: empty";
@@ -57,10 +65,17 @@ let quantile xs q =
   let frac = pos -. float_of_int lo in
   (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
 
+(* Monotonic seconds via clock_gettime(CLOCK_MONOTONIC) (the bechamel
+   C stub) — wall clock (gettimeofday) is subject to NTP steps, which
+   made bench timings occasionally negative and corrupted BENCH_*.json.
+   The clamp is belt-and-braces: a monotonic clock cannot go backwards,
+   but a zero-resolution fake clock can legitimately report 0. *)
+let now_monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_monotonic () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Float.max 0. (now_monotonic () -. t0))
 
 let time_median ?(repeats = 3) f =
   if repeats <= 0 then invalid_arg "Relstats.time_median: repeats <= 0";
@@ -79,3 +94,50 @@ let format_seconds s =
   if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
   else if s < 1. then Printf.sprintf "%.1fms" (s *. 1e3)
   else Printf.sprintf "%.2fs" s
+
+(* ------------------------------------------------------------------ *)
+(* Binomial confidence intervals                                       *)
+(* ------------------------------------------------------------------ *)
+
+type interval_method = Wald | Wilson | Agresti_coull
+
+let interval_method_name = function
+  | Wald -> "wald"
+  | Wilson -> "wilson"
+  | Agresti_coull -> "agresti-coull"
+
+let default_z = 1.96
+
+(* Wald degenerates to a zero-width interval at phat in {0, 1} — the
+   regime that matters most for reliable graphs — which is why it is
+   kept only as the legacy reference. Wilson inverts the score test
+   ((phat - p)^2 = z^2 p (1-p) / n), so its bounds are the two roots of
+   a quadratic that always brackets phat and stays inside (0, 1) with
+   nonzero width for every n >= 1. Agresti–Coull is the simple fallback:
+   Wald recentred on the Wilson midpoint with z^2 pseudo-observations
+   (its bounds can poke outside [0, 1]; they are clamped here). *)
+let interval ?(z = default_z) m ~phat ~n =
+  if n < 1 then invalid_arg "Relstats.interval: n < 1";
+  if not (Float.is_finite z) || z <= 0. then
+    invalid_arg "Relstats.interval: z must be finite and positive";
+  let p = Float.max 0. (Float.min 1. phat) in
+  let nf = float_of_int n in
+  let clamp01 x = Float.max 0. (Float.min 1. x) in
+  match m with
+  | Wald ->
+    let half = z *. sqrt (p *. (1. -. p) /. nf) in
+    (clamp01 (p -. half), clamp01 (p +. half))
+  | Wilson ->
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2. *. nf))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf)))
+    in
+    (clamp01 (center -. half), clamp01 (center +. half))
+  | Agresti_coull ->
+    let z2 = z *. z in
+    let nt = nf +. z2 in
+    let pt = ((p *. nf) +. (z2 /. 2.)) /. nt in
+    let half = z *. sqrt (pt *. (1. -. pt) /. nt) in
+    (clamp01 (pt -. half), clamp01 (pt +. half))

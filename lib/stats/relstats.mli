@@ -18,18 +18,53 @@ val error_rate : exact:float array -> estimates:float array array -> float
 
 val mean : float array -> float
 val std_dev : float array -> float
-(** Population standard deviation. *)
+(** Sample standard deviation (n−1 divisor, unbiased variance): a
+    single observation reports [0.] rather than claim zero spread with
+    a population divisor. @raise Invalid_argument on empty input. *)
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [[0, 1]], linear interpolation.
     @raise Invalid_argument on empty input. *)
 
+val now_monotonic : unit -> float
+(** Seconds on [CLOCK_MONOTONIC] (arbitrary origin): immune to NTP
+    steps, safe to difference. *)
+
 val time : (unit -> 'a) -> 'a * float
-(** Wall-clock seconds for one call. *)
+(** Elapsed monotonic seconds for one call, clamped at [0.]. *)
 
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
-(** Run [repeats] times (default 3) and report the median wall time
-    with the last result. *)
+(** Run [repeats] times (default 3) and report the median elapsed
+    monotonic time with the last result. *)
 
 val format_seconds : float -> string
 (** Human-readable: ["412us"], ["3.2ms"], ["1.54s"]. *)
+
+(** {2 Binomial confidence intervals}
+
+    Interval estimators for a proportion observed as [phat] out of [n]
+    Bernoulli trials. {!Wald} is the fixed normal interval
+    [phat ± z sqrt(phat (1-phat) / n)] — it collapses to zero width at
+    [phat ∈ {0, 1}], exactly the regime that matters for reliable
+    graphs, and is retained only as the legacy reference. {!Wilson}
+    (score inversion) always has nonzero width, always contains [phat],
+    and its width is strictly decreasing in [n] for a fixed [phat];
+    {!Agresti_coull} is the simpler add-[z²] pseudo-count fallback
+    (slightly wider than Wilson, bounds clamped into [[0, 1]]). *)
+
+type interval_method = Wald | Wilson | Agresti_coull
+
+val interval_method_name : interval_method -> string
+(** ["wald"] / ["wilson"] / ["agresti-coull"]. *)
+
+val default_z : float
+(** [1.96] — the nominal two-sided 95% normal quantile. *)
+
+val interval :
+  ?z:float -> interval_method -> phat:float -> n:int -> float * float
+(** [interval m ~phat ~n] is the [(lower, upper)] confidence interval
+    for the success probability, both bounds in [[0, 1]] with
+    [lower <= upper]. [phat] is clamped into [[0, 1]] first (the HT
+    estimator can overshoot 1 under sampling noise). [z] defaults to
+    {!default_z}. @raise Invalid_argument when [n < 1] or [z] is not
+    finite and positive. *)

@@ -1,0 +1,79 @@
+Sequential stopping from the CLI: --ci-width replaces the fixed
+--samples budget with draw-until-the-interval-is-narrow. The interval
+is the Wilson score interval (never the Wald one that collapses to
+zero width at 0 hits), the run reports the samples the stopping rule
+actually spent, and for a fixed seed the estimate is bit-identical at
+every --jobs value. NETREL_FAKE_CLOCK pins the observer clock, so the
+stats documents below are byte-stable.
+
+  $ export NETREL_FAKE_CLOCK=1
+
+A multi-round plain-MC run on karate — the second round is planned
+from the first round's Wilson width, so the spent budget lands near
+the requirement instead of on a power-of-two:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-mc \
+  >   --ci-width 0.0015 --jobs 1 | grep -v time
+  graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
+  terminals: [0, 33]
+  R = 0.9992985972
+  ci95 = [0.9985527541, 0.9996601983]  (width 0.001107, target 0.0015)
+  adaptive: 9980 samples in 2 rounds, stop = width-reached
+
+The stratified pro driver (Neyman-allocated rounds over the S2BDD
+sampling plan) reaches the same target with far fewer descents, because
+the proven construction bounds already confine the answer:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method pro \
+  >   --width 64 --ci-width 0.02 --jobs 1 | grep -v time
+  graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
+  terminals: [0, 33]
+  R = 0.9991538423
+  ci95 = [0.997809119, 0.9996698808]  (width 0.001861, target 0.02)
+  adaptive: 4096 samples in 1 rounds, stop = width-reached
+
+--jobs is placement-only: apart from the run.jobs metadata line, the
+full stats document is byte-identical across jobs values:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-mc \
+  >   --ci-width 0.0015 --jobs 1 --stats json | grep -v '"jobs"' > adaptive_j1.json
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-mc \
+  >   --ci-width 0.0015 --jobs 8 --stats json | grep -v '"jobs"' > adaptive_j8.json
+  $ cmp adaptive_j1.json adaptive_j8.json
+
+The adaptive section carries the loop account, and the result carries
+the stopped Wilson interval (nonzero width even this close to 1):
+
+  $ sed -n '/"adaptive"/,/},/p' adaptive_j1.json
+    "adaptive": {
+      "ci_width": 0.0011074442102849691,
+      "rounds": 2,
+      "samples_planned": 9980,
+      "samples_used": 9980,
+      "stop": "width-reached",
+      "stop_width-reached": 1,
+      "target_width": 0.0015
+    },
+  $ grep -E '^    "(value|lower|upper|exact)"' adaptive_j1.json
+      "value": 0.99929859719438874,
+      "lower": 0.9985527541033743,
+      "upper": 0.99966019831365927,
+      "exact": false,
+
+Error paths exit 2 with a clean message — --ci-width only applies to
+the estimating methods, --max-samples only modifies --ci-width, and
+the target width must be a proper fraction:
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method bdd \
+  >   --ci-width 0.02 2>&1
+  netrel: --ci-width applies to pro / sampling-mc / sampling-ht only
+  [2]
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-mc \
+  >   --max-samples 100 2>&1
+  netrel: --max-samples requires --ci-width
+  [2]
+
+  $ netrel estimate --dataset karate --terminals 0,33 --method sampling-mc \
+  >   --ci-width 1.5 2>&1 | tail -1
+  netrel: Adaptive: ci_width must be in (0, 1)

@@ -8,8 +8,8 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
   selfcheck: seed=1 trials=3 jobs=1,2,8
     oracle       cases=18   checks=1008  violations=0   skipped=0
     metamorphic  cases=27   checks=135   violations=0   skipped=0
-    calibration  cases=8    checks=8     violations=0   skipped=0
-  result: OK (53 cases, 1151 checks, 0 violations)
+    calibration  cases=11   checks=14    violations=0   skipped=0
+  result: OK (56 cases, 1157 checks, 0 violations)
 
   $ netrel selfcheck --trials 3 --seed 1 --json
   {
@@ -44,16 +44,16 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
       },
       {
         "name": "calibration",
-        "cases": 8,
-        "checks": 8,
+        "cases": 11,
+        "checks": 14,
         "violations": 0,
         "skipped": 0
       }
     ],
     "violations": [],
     "result": {
-      "cases": 53,
-      "checks": 1151,
+      "cases": 56,
+      "checks": 1157,
       "violations": 0,
       "ok": true
     }

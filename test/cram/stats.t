@@ -9,12 +9,13 @@ The default (pro) method on a dataset that preprocesses to an exact
 answer — every phase section is present, in order:
 
   $ netrel estimate --dataset am-rv --terminals 0,50,100 --jobs 1 --stats json > stats1.json
-  $ grep -E '^  "(netrel|run|preprocess|construction|sampling|par|result)":' stats1.json
+  $ grep -E '^  "(netrel|run|preprocess|construction|sampling|adaptive|par|result)":' stats1.json
     "netrel": {
     "run": {
     "preprocess": {
     "construction": {
     "sampling": {
+    "adaptive": {},
     "par": {
     "result": {
 
@@ -25,8 +26,14 @@ Run metadata records what was asked; the result carries the estimate:
       "method": "pro",
       "graph": "Am-Rv",
       "seconds": 0.0
-  $ grep -E '^    "(value|exact)"' stats1.json
+An exact answer reports a point interval (lower = value = upper) —
+sampled runs get a Wilson interval there instead, never the Wald one
+that collapses to zero width at 0 hits:
+
+  $ grep -E '^    "(value|lower|upper|exact)"' stats1.json
       "value": 0.046087808504265595,
+      "lower": 0.046087808504265595,
+      "upper": 0.046087808504265595,
       "exact": true,
 
 Byte-stability: a second identical invocation produces the identical
@@ -44,6 +51,10 @@ including the dedup account the estimator runs on:
       "dedup_ratio": 1.0,
       "estimator": "ht",
       "samples_used": 2000,
+  $ grep -E '^    "(value|lower|upper)"' ht.json
+      "value": 0.99900000000114042,
+      "lower": 0.99636098981255705,
+      "upper": 0.99972572682440763,
 
 The document is parseable by the bundled JSON parser (the bench harness
 re-validates BENCH_*.json the same way), and trivial runs stay honest:

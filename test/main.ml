@@ -23,4 +23,6 @@ let () =
       Test_check.suite;
       Test_kernel.suite;
       Test_kernel_bitsliced.suite;
+      Test_stats.suite;
+      Test_adaptive.suite;
     ]

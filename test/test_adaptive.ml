@@ -1,0 +1,149 @@
+(* The sequential-stopping drivers (lib/adaptive). The contracts under
+   test: the stopped interval is valid (never the zero-width Wald
+   collapse at 0 hits), the stopping rule respects both the width
+   target and the sample cap, and the whole run is replayable — for a
+   fixed seed the result is bit-identical at every jobs value, and a
+   stratified plan's per-stratum account depends only on the totals
+   drawn, not on how rounds partition them. *)
+
+open Testutil
+module A = Adaptive
+module S = Netrel.S2bdd
+module D = Workload.Datasets
+
+let karate () = (D.karate ~seed:1 ()).D.graph
+
+let same_result msg (a : A.result) (b : A.result) =
+  Alcotest.(check (float 0.)) (msg ^ ": value") a.A.value b.A.value;
+  Alcotest.(check (float 0.)) (msg ^ ": lower") a.A.lower b.A.lower;
+  Alcotest.(check (float 0.)) (msg ^ ": upper") a.A.upper b.A.upper;
+  Alcotest.(check int) (msg ^ ": samples_used") a.A.samples_used b.A.samples_used;
+  Alcotest.(check int) (msg ^ ": rounds") a.A.rounds b.A.rounds;
+  Alcotest.(check bool) (msg ^ ": stop") true (a.A.stop = b.A.stop)
+
+(* fig1 at ci_width 0.01 needs ~25k samples: a genuinely multi-round
+   run, so the jobs sweep exercises mid-schedule chunk boundaries. *)
+let t_mc_jobs_bit_identical () =
+  let g = fig1 () in
+  let run jobs =
+    A.monte_carlo ~seed:7 ~jobs g ~terminals:[ 0; 4 ] ~ci_width:0.01
+  in
+  let r1 = run 1 in
+  Alcotest.(check bool) "multi-round" true (r1.A.rounds >= 2);
+  same_result "jobs 2" r1 (run 2);
+  same_result "jobs 8" r1 (run 8)
+
+let t_ht_jobs_bit_identical () =
+  let g = fig1 () in
+  let run jobs =
+    A.horvitz_thompson ~seed:7 ~jobs g ~terminals:[ 0; 4 ] ~ci_width:0.01
+  in
+  let r1 = run 1 in
+  same_result "jobs 2" r1 (run 2);
+  same_result "jobs 8" r1 (run 8)
+
+let t_width_reached () =
+  let g = fig1 () in
+  let r = A.monte_carlo ~seed:3 g ~terminals:[ 0; 4 ] ~ci_width:0.02 in
+  Alcotest.(check bool) "stop reason" true (r.A.stop = A.Width_reached);
+  Alcotest.(check bool) "width met" true (r.A.upper -. r.A.lower <= 0.02);
+  Alcotest.(check bool) "value inside interval" true
+    (r.A.lower <= r.A.value && r.A.value <= r.A.upper);
+  check_close "realised width recorded" (r.A.upper -. r.A.lower) r.A.ci_width
+
+let t_max_samples_cap () =
+  let g = fig1 () in
+  let r =
+    A.monte_carlo ~seed:3 g ~terminals:[ 0; 4 ] ~ci_width:1e-4
+      ~max_samples:10_000
+  in
+  Alcotest.(check bool) "stop reason" true (r.A.stop = A.Budget_exhausted);
+  Alcotest.(check int) "cap spent exactly" 10_000 r.A.samples_used;
+  Alcotest.(check bool) "target missed" true (r.A.ci_width > 1e-4)
+
+(* The regression the PR fixes: 0 observed hits used to yield the
+   degenerate Wald interval [v, v] — the stopping rule would have
+   declared victory after one round at any target. Wilson keeps the
+   upper bound away from 0, on the fixed path and the adaptive one. *)
+let t_zero_hit_interval () =
+  let g = graph ~n:2 [ (0, 1, 0.) ] in
+  let e = Mcsampling.monte_carlo ~seed:1 g ~terminals:[ 0; 1 ] ~samples:500 in
+  let lo, hi = Mcsampling.interval e in
+  Alcotest.(check (float 0.)) "fixed path: 0-hit value" 0. e.Mcsampling.value;
+  Alcotest.(check (float 0.)) "fixed path: 0-hit lower" 0. lo;
+  Alcotest.(check bool) "fixed path: 0-hit upper > 0" true (hi > 0.);
+  let r = A.monte_carlo ~seed:1 g ~terminals:[ 0; 1 ] ~ci_width:0.5 in
+  Alcotest.(check (float 0.)) "adaptive: 0-hit lower" 0. r.A.lower;
+  Alcotest.(check bool) "adaptive: 0-hit upper > 0" true (r.A.upper > 0.);
+  Alcotest.(check bool) "adaptive: stopped on width" true
+    (r.A.stop = A.Width_reached)
+
+(* Per-stratum streams advance by totals only: drawing 3 then 2 from a
+   plan must land exactly where one draw of 5 does. This is what makes
+   the Neyman round schedule (and domain placement) irrelevant to the
+   final account. *)
+let t_plan_split_draws () =
+  let g = karate () in
+  (* A tight width keeps the plan at test scale (a few hundred strata,
+     not the 200k a width-10k construction leaves on karate). *)
+  let prepare () =
+    match
+      S.prepare ~config:{ S.default_config with S.seed = 11; S.width = 64 } g
+        ~terminals:[ 0; 33 ]
+    with
+    | S.Sampling plan -> plan
+    | S.Exact _ -> Alcotest.fail "expected a sampling plan on karate"
+  in
+  let p1 = prepare () and p2 = prepare () in
+  let k = S.n_strata p1 in
+  Alcotest.(check bool) "plan has strata" true (k > 0);
+  Alcotest.(check int) "same construction" k (S.n_strata p2);
+  for i = 0 to k - 1 do
+    S.draw_stratum p1 i ~n:5;
+    S.draw_stratum p2 i ~n:3;
+    S.draw_stratum p2 i ~n:2;
+    Alcotest.(check int) "drawn" (S.stratum_drawn p1 i) (S.stratum_drawn p2 i);
+    Alcotest.(check int) "hits" (S.stratum_hits p1 i) (S.stratum_hits p2 i)
+  done
+
+let t_reliability_jobs_bit_identical () =
+  let g = karate () in
+  let run jobs =
+    A.reliability
+      ~config:{ S.default_config with S.seed = 5; S.width = 64 }
+      ~jobs g ~terminals:[ 0; 33 ] ~ci_width:0.02
+  in
+  let r1 = run 1 in
+  Alcotest.(check bool) "stop reason" true (r1.A.stop = A.Width_reached);
+  Alcotest.(check bool) "width met" true (r1.A.ci_width <= 0.02);
+  same_result "jobs 2" r1 (run 2);
+  same_result "jobs 4" r1 (run 4)
+
+let t_validation () =
+  let g = fig1 () in
+  Alcotest.check_raises "ci_width = 0 rejected"
+    (Invalid_argument "Adaptive: ci_width must be in (0, 1)") (fun () ->
+      ignore (A.monte_carlo g ~terminals:[ 0; 4 ] ~ci_width:0.));
+  Alcotest.check_raises "ci_width >= 1 rejected"
+    (Invalid_argument "Adaptive: ci_width must be in (0, 1)") (fun () ->
+      ignore (A.horvitz_thompson g ~terminals:[ 0; 4 ] ~ci_width:1.));
+  Alcotest.check_raises "max_samples < 1 rejected"
+    (Invalid_argument "Adaptive: max_samples < 1") (fun () ->
+      ignore (A.reliability g ~terminals:[ 0; 4 ] ~ci_width:0.1 ~max_samples:0))
+
+let suite =
+  ( "adaptive",
+    [
+      Alcotest.test_case "mc: bit-identical across jobs" `Quick
+        t_mc_jobs_bit_identical;
+      Alcotest.test_case "ht: bit-identical across jobs" `Quick
+        t_ht_jobs_bit_identical;
+      Alcotest.test_case "mc: stops at the width target" `Quick t_width_reached;
+      Alcotest.test_case "mc: stops at the sample cap" `Quick t_max_samples_cap;
+      Alcotest.test_case "0-hit interval regression" `Quick t_zero_hit_interval;
+      Alcotest.test_case "plan: split draws equal one draw" `Quick
+        t_plan_split_draws;
+      Alcotest.test_case "pro: bit-identical across jobs" `Quick
+        t_reliability_jobs_bit_identical;
+      Alcotest.test_case "validation" `Quick t_validation;
+    ] )

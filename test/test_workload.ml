@@ -138,7 +138,8 @@ let t_stats_zero_truth () =
 
 let t_stats_basic () =
   check_close "mean" 2. (Relstats.mean [| 1.; 2.; 3. |]);
-  check_close "std" (sqrt (2. /. 3.)) (Relstats.std_dev [| 1.; 2.; 3. |]);
+  (* n-1 divisor: variance (1+0+1)/2 = 1 *)
+  check_close "std" 1. (Relstats.std_dev [| 1.; 2.; 3. |]);
   check_close "median" 2. (Relstats.quantile [| 3.; 1.; 2. |] 0.5);
   check_close "q0" 1. (Relstats.quantile [| 3.; 1.; 2. |] 0.);
   check_close "q1" 3. (Relstats.quantile [| 3.; 1.; 2. |] 1.)
