@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive bench-all clean
 
 build:
 	dune build
@@ -27,7 +27,7 @@ bench-quick:
 # `dune runtest` via bench/dune. Add BENCH_TRACE=1 to also write
 # BENCH_parallel_trace.json (Chrome trace-event, Perfetto-loadable).
 bench-smoke:
-	dune exec bench/main.exe -- --only parallel --quick --json \
+	dune exec bench/main.exe -- --force --only parallel --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 # Flat-kernel throughput vs the retained reference samplers (karate,
@@ -36,7 +36,7 @@ bench-smoke:
 # artifact (compare its kernel-mc samples/s against the sampling-mc
 # seconds in BENCH_parallel.json). Also runs under `dune runtest`.
 bench-kernels:
-	dune exec bench/main.exe -- --only kernels --quick --json \
+	dune exec bench/main.exe -- --force --only kernels --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 # Bit-sliced (62 worlds per word) vs flat sampling kernel at jobs = 1,
@@ -46,7 +46,7 @@ bench-kernels:
 # sampling.kernel.mode to the mode that actually ran). Also runs under
 # `dune runtest`.
 bench-bitsliced:
-	dune exec bench/main.exe -- --only bitsliced --quick --json \
+	dune exec bench/main.exe -- --force --only bitsliced --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
 # Sequential stopping (--ci-width) vs the fixed 10k sample budget on
@@ -56,7 +56,18 @@ bench-bitsliced:
 # sample-efficiency artifact (adaptive.samples_used vs run.samples).
 # Also runs under `dune runtest`.
 bench-adaptive:
-	dune exec bench/main.exe -- --only adaptive --quick --json \
+	dune exec bench/main.exe -- --force --only adaptive --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Regenerate every tracked BENCH_*.json in one pass: the five
+# JSON-emitting sections in quick mode, 3 repeats per (dataset, method)
+# pair so `netrel benchdiff` gets real median/MAD noise bands, --force
+# because the committed baselines already sit at the repo root. Run
+# this (and commit the results) after performance-relevant changes;
+# `netrel benchdiff OLD.json NEW.json` gates the comparison.
+bench-all:
+	dune exec bench/main.exe -- --force --repeats 3 --json \
+	  --only table5,parallel,kernels,bitsliced,adaptive --quick \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

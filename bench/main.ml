@@ -16,6 +16,9 @@ let () =
   let bechamel = ref false in
   let json = ref false in
   let trace = ref false in
+  let force = ref false in
+  let repeats = ref 1 in
+  let baseline = ref "" in
   let spec =
     [
       ("--only", Arg.Set_string only,
@@ -31,6 +34,15 @@ let () =
       ("--trace", Arg.Set trace,
        " also write BENCH_<section>_trace.json Chrome event traces for the \
         instrumented runs (self-validated)");
+      ("--force", Arg.Set force,
+       " overwrite an existing BENCH_<section>.json (without it, --json \
+        refuses to clobber a committed baseline)");
+      ("--repeats", Arg.Set_int repeats,
+       "N instrumented runs per (dataset, method) pair (default 1); \
+        repeats give `netrel benchdiff` its median/MAD noise bands");
+      ("--baseline", Arg.Set_string baseline,
+       "FILE compare the freshly collected --json runs against this \
+        BENCH_*.json instead of writing files; a regression fails the run");
     ]
   in
   Arg.parse spec
@@ -38,7 +50,9 @@ let () =
     "netrel benchmark harness";
   let cfg =
     { Sections.scale = !scale; Sections.quick = !quick; Sections.seed = !seed;
-      Sections.json = !json; Sections.trace = !trace }
+      Sections.json = !json; Sections.trace = !trace; Sections.force = !force;
+      Sections.repeats = !repeats;
+      Sections.baseline = (if !baseline = "" then None else Some !baseline) }
   in
   let wanted =
     if !only = "" then List.map fst Sections.all_sections

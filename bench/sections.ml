@@ -17,10 +17,16 @@ type config = {
   seed : int;
   json : bool;     (* also write BENCH_<section>.json stats files *)
   trace : bool;    (* also write BENCH_<section>_trace.json event traces *)
+  force : bool;    (* overwrite an existing BENCH_<section>.json *)
+  repeats : int;   (* instrumented runs per (dataset, method) pair *)
+  baseline : string option;
+      (* compare freshly collected runs against this BENCH_*.json
+         instead of writing a file; a regression fails the bench run *)
 }
 
 let default_config =
-  { scale = 1.0; quick = false; seed = 1; json = false; trace = false }
+  { scale = 1.0; quick = false; seed = 1; json = false; trace = false;
+    force = false; repeats = 1; baseline = None }
 
 let banner title note =
   Printf.printf "\n=== %s ===\n%s\n\n" title note
@@ -54,6 +60,37 @@ let validate_stats_doc doc =
       failwith (Printf.sprintf "stats document run.seconds = %g < 0" s)
     | _ -> failwith "stats document missing run.seconds")
 
+(* --baseline: instead of writing BENCH_<section>.json, diff the fresh
+   runs against the given baseline file with the noise-aware benchdiff
+   gate. A baseline written for another section is skipped with a note
+   (so `--baseline` composes with multi-section runs); a regression
+   fails the whole bench run. *)
+let diff_against_baseline ~section ~path doc =
+  let module B = Netrel.Benchdiff in
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let old_doc = J.of_string_exn s in
+  let applies =
+    match J.member "section" old_doc with
+    | Some (J.Str s) -> s = section
+    | _ -> true
+  in
+  if not applies then
+    Printf.printf "[baseline %s: section mismatch, skipping %s]\n" path section
+  else
+    match B.compare_docs ~old_doc ~new_doc:doc () with
+    | Error msg -> failwith (path ^ ": " ^ msg)
+    | Ok rep ->
+      print_string (B.render_human rep);
+      if B.regressed rep then
+        failwith
+          (Printf.sprintf "benchdiff: %d regression(s) against %s"
+             rep.B.regressions path)
+
 let emit_json cfg ~section ?(trace = Trace.disabled) runs =
   if cfg.json then begin
     let file = Printf.sprintf "BENCH_%s.json" section in
@@ -65,6 +102,15 @@ let emit_json cfg ~section ?(trace = Trace.disabled) runs =
           ("runs", J.List runs);
         ]
     in
+    match cfg.baseline with
+    | Some path -> diff_against_baseline ~section ~path doc
+    | None ->
+    if Sys.file_exists file && not cfg.force then
+      failwith
+        (Printf.sprintf
+           "%s already exists; pass --force to overwrite (or --baseline \
+            %s to compare instead)"
+           file file);
     let out = open_out file in
     output_string out (J.to_string ~pretty:true doc);
     output_char out '\n';
@@ -118,6 +164,14 @@ let stats_run cfg ~method_name ~graph ~ts ~s ~w ~trace f =
       seed = cfg.seed; jobs = 1; samples = s; width = w }
   in
   SD.build ~obs ~run:run_meta ~seconds ~result
+
+(* [--repeats N] collects N identically-seeded documents per pair: the
+   computed results are bit-identical (determinism contract), only the
+   wall-clock and GC readings vary, which is exactly the repeat noise
+   benchdiff's median/MAD thresholds feed on. *)
+let stats_runs cfg ~method_name ~graph ~ts ~s ~w ~trace f =
+  List.init (max 1 cfg.repeats) (fun _ ->
+      stats_run cfg ~method_name ~graph ~ts ~s ~w ~trace f)
 
 let terminals cfg ~search g ~k =
   G.random_terminals ~seed:(cfg.seed + (1000 * search)) g ~k
@@ -384,9 +438,9 @@ let table5 cfg =
       let g = d.D.graph in
       let ts = terminals cfg ~search:1 g ~k in
       (if cfg.json || cfg.trace then
-         let doc =
-           stats_run cfg ~method_name:"preprocess" ~graph:d.D.abbr ~ts ~s:0 ~w:0
-             ~trace:tr
+         let docs =
+           stats_runs cfg ~method_name:"preprocess" ~graph:d.D.abbr ~ts ~s:0
+             ~w:0 ~trace:tr
              (fun ~obs ~trace ->
                match P.run ~obs ~trace g ~terminals:ts with
                | P.Trivial r ->
@@ -397,7 +451,8 @@ let table5 cfg =
                      ("subproblems", J.Int stats.P.n_subproblems);
                      ("bridges", J.Int stats.P.n_bridges) ])
          in
-         if cfg.json then stats_docs := doc :: !stats_docs);
+         if cfg.json then
+           List.iter (fun doc -> stats_docs := doc :: !stats_docs) docs);
       let outcome, dt = Relstats.time (fun () -> P.run g ~terminals:ts) in
       match outcome with
       | P.Trivial _ ->
@@ -646,23 +701,26 @@ let parallel cfg =
           let rep = R.estimate ~config ~jobs g ~terminals:ts in
           (rep.R.value, Printf.sprintf "drawn = %d" rep.R.samples_drawn));
       if cfg.json || cfg.trace then begin
-        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let add docs =
+          if cfg.json then
+            List.iter (fun doc -> stats_docs := doc :: !stats_docs) docs
+        in
         add
-          (stats_run cfg ~method_name:"sampling-mc" ~graph:d.D.abbr ~ts ~s ~w
+          (stats_runs cfg ~method_name:"sampling-mc" ~graph:d.D.abbr ~ts ~s ~w
              ~trace:tr
              (fun ~obs ~trace ->
                SD.result_of_estimate
                  (Mcsampling.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 g
                     ~terminals:ts ~samples:s)));
         add
-          (stats_run cfg ~method_name:"sampling-ht" ~graph:d.D.abbr ~ts ~s ~w
+          (stats_runs cfg ~method_name:"sampling-ht" ~graph:d.D.abbr ~ts ~s ~w
              ~trace:tr
              (fun ~obs ~trace ->
                SD.result_of_estimate
                  (Mcsampling.horvitz_thompson ~obs ~trace ~seed:cfg.seed ~jobs:1
                     g ~terminals:ts ~samples:s)));
         add
-          (stats_run cfg ~method_name:"pro" ~graph:d.D.abbr ~ts ~s ~w ~trace:tr
+          (stats_runs cfg ~method_name:"pro" ~graph:d.D.abbr ~ts ~s ~w ~trace:tr
              (fun ~obs ~trace ->
                let config =
                  s2_config cfg ~s ~w ~estimator:S.Monte_carlo ~seed:cfg.seed
@@ -744,13 +802,16 @@ let kernels cfg =
             ~samples:s);
       print_newline ();
       if cfg.json || cfg.trace then begin
-        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let add docs =
+          if cfg.json then
+            List.iter (fun doc -> stats_docs := doc :: !stats_docs) docs
+        in
         let kernel_doc method_name f =
-          let doc =
-            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr f
+          let docs =
+            stats_runs cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr f
           in
-          assert_kernel_counters ~method_name doc;
-          add doc
+          List.iter (assert_kernel_counters ~method_name) docs;
+          add docs
         in
         kernel_doc "kernel-mc" (fun ~obs ~trace ->
             SD.result_of_estimate
@@ -764,14 +825,14 @@ let kernels cfg =
            deliberately uninstrumented); they give the JSON file its
            before/after pair per dataset. *)
         add
-          (stats_run cfg ~method_name:"reference-mc" ~graph:d.D.abbr ~ts ~s
+          (stats_runs cfg ~method_name:"reference-mc" ~graph:d.D.abbr ~ts ~s
              ~w:0 ~trace:tr
              (fun ~obs:_ ~trace:_ ->
                SD.result_of_estimate
                  (Mcsampling.Reference.monte_carlo ~seed:cfg.seed g
                     ~terminals:ts ~samples:s)));
         add
-          (stats_run cfg ~method_name:"reference-ht" ~graph:d.D.abbr ~ts ~s
+          (stats_runs cfg ~method_name:"reference-ht" ~graph:d.D.abbr ~ts ~s
              ~w:0 ~trace:tr
              (fun ~obs:_ ~trace:_ ->
                SD.result_of_estimate
@@ -856,15 +917,21 @@ let bitsliced cfg =
             ~kernel:Mcsampling.Bitsliced g ~terminals:ts ~samples:s);
       print_newline ();
       if cfg.json || cfg.trace then begin
-        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let add docs =
+          if cfg.json then
+            List.iter (fun doc -> stats_docs := doc :: !stats_docs) docs
+        in
         let mode_doc method_name ~kernel ~expect run =
-          let doc =
-            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr
+          let docs =
+            stats_runs cfg ~method_name ~graph:d.D.abbr ~ts ~s ~w:0 ~trace:tr
               (fun ~obs ~trace -> SD.result_of_estimate (run ~obs ~trace ~kernel))
           in
-          assert_kernel_counters ~method_name doc;
-          assert_kernel_mode ~method_name ~expect doc;
-          add doc
+          List.iter
+            (fun doc ->
+              assert_kernel_counters ~method_name doc;
+              assert_kernel_mode ~method_name ~expect doc)
+            docs;
+          add docs
         in
         let mc ~obs ~trace ~kernel =
           Mcsampling.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 ~kernel g
@@ -964,14 +1031,18 @@ let adaptive cfg =
       in
       print_newline ();
       if cfg.json || cfg.trace then begin
-        let add doc = if cfg.json then stats_docs := doc :: !stats_docs in
+        let add docs =
+          if cfg.json then
+            List.iter (fun doc -> stats_docs := doc :: !stats_docs) docs
+        in
         let adaptive_doc method_name run =
-          let doc =
-            stats_run cfg ~method_name ~graph:d.D.abbr ~ts ~s:cap ~w:0 ~trace:tr
+          let docs =
+            stats_runs cfg ~method_name ~graph:d.D.abbr ~ts ~s:cap ~w:0
+              ~trace:tr
               (fun ~obs ~trace -> adaptive_result_doc (run ~obs ~trace))
           in
-          assert_adaptive_counters ~method_name doc;
-          add doc
+          List.iter (assert_adaptive_counters ~method_name) docs;
+          add docs
         in
         adaptive_doc "adaptive-mc" (fun ~obs ~trace ->
             Adaptive.monte_carlo ~obs ~trace ~seed:cfg.seed ~jobs:1 g

@@ -193,7 +193,15 @@ let run_estimate_stats ~g ~name ~ts ~seed ~samples ~width ~ht ~no_ext ~method_
   let module SD = Netrel.Statsdoc in
   let obs = Obs.create () in
   let t0 = Obs.now obs in
+  (* Whole-run GC account (the document's top-level "gc" section, and
+     Chrome counter events when tracing); the per-phase sections keep
+     their own finer-grained deltas. *)
+  let gc_emit =
+    if Trace.enabled trace then Some (fun k v -> Trace.counter trace k v)
+    else None
+  in
   let method_name, result =
+    Obs.gc_phase obs ?emit:gc_emit "gc" @@ fun () ->
     match (method_, ci_width) with
     | Pro, Some w ->
       let estimator = if ht then S.Horvitz_thompson else S.Monte_carlo in
@@ -675,6 +683,67 @@ let reach_cmd =
     Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg $ source
           $ target $ dist $ samples)
 
+(* ---- benchdiff ---- *)
+
+let benchdiff_cmd =
+  let module B = Netrel.Benchdiff in
+  let old_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"OLD" ~doc:"Baseline BENCH_*.json document.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"NEW" ~doc:"Candidate BENCH_*.json document.")
+  in
+  let tolerance =
+    let doc = "Relative tolerance on each metric's median (0.25 = a 25% \
+               shift in the bad direction is a regression). The realised \
+               per-row threshold is the max of this, the MAD-based noise \
+               band of the baseline's repeats, and the metric's absolute \
+               floor." in
+    Arg.(value & opt float B.default_rel_tol
+         & info [ "tolerance" ] ~docv:"REL" ~doc)
+  in
+  let mad_mult =
+    let doc = "Multiplier on the baseline repeats' median absolute \
+               deviation (default 6.0, ~4 sigma for normal noise)." in
+    Arg.(value & opt float B.default_mad_mult
+         & info [ "mad-mult" ] ~docv:"M" ~doc)
+  in
+  let json =
+    let doc = "Emit the comparison as one JSON document instead of the \
+               human-readable table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run old_file new_file tolerance mad_mult json = guarded @@ fun () ->
+    let parse path =
+      let ic = open_in path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      try Obs.Json.of_string_exn s
+      with Obs.Json.Parse_error msg -> or_die (Error (path ^ ": " ^ msg))
+    in
+    let old_doc = parse old_file and new_doc = parse new_file in
+    match
+      B.compare_docs ~rel_tol:tolerance ~mad_mult ~old_doc ~new_doc ()
+    with
+    | Error msg -> or_die (Error msg)
+    | Ok rep ->
+      if json then
+        print_endline (Obs.Json.to_string ~pretty:true (B.render_json rep))
+      else print_string (B.render_human rep);
+      if B.regressed rep then exit 1
+  in
+  let doc = "Compare two BENCH_*.json documents with noise-aware \
+             per-metric thresholds (median-of-repeats, MAD bands, \
+             direction-aware); exits 1 on regression, 2 on unusable \
+             input" in
+  Cmd.v (Cmd.info "benchdiff" ~doc)
+    Term.(const run $ old_file $ new_file $ tolerance $ mad_mult $ json)
+
 let () =
   let doc = "network reliability in uncertain graphs (S2BDD, EDBT 2019)" in
   let info = Cmd.info "netrel" ~version:"1.0.0" ~doc in
@@ -682,4 +751,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; bounds_cmd;
-            search_cmd; reach_cmd; selfcheck_cmd ]))
+            search_cmd; reach_cmd; selfcheck_cmd; benchdiff_cmd ]))

@@ -146,7 +146,11 @@ let sampler_loop ~ao ~trace ~ci_width ~max_samples ~draw ~samples ~hits
     if next = 0 then finished := Some Budget_exhausted
     else begin
       let ts = Trace.now trace in
-      draw next;
+      (* Round-size distribution and per-round GC cost: the round
+         schedule is a deterministic function of the observed hit
+         counts, so the histogram is byte-stable for a fixed seed. *)
+      Obs.hist ao "hist.round_size" next;
+      Obs.gc_phase ao "gc" (fun () -> draw next);
       incr rounds;
       planned := !planned + next;
       let e = estimate () in
@@ -351,12 +355,14 @@ let run_plan ?pool ~ao ~trace ~sub ~ci_width ~max_samples plan =
         Array.of_list
           (List.filter (fun i -> alloc.(i) > 0) (List.init k (fun i -> i)))
       in
+      Obs.hist ao "hist.round_size" this_round;
       (* Distinct strata only: safe to draw concurrently (each owns its
          stream, counters and scratch). *)
-      ignore
-        (Par.run ?pool (Array.length targets) (fun j ->
-             let i = targets.(j) in
-             S2bdd.draw_stratum plan i ~n:alloc.(i)));
+      Obs.gc_phase ao "gc" (fun () ->
+          ignore
+            (Par.run ?pool (Array.length targets) (fun j ->
+                 let i = targets.(j) in
+                 S2bdd.draw_stratum plan i ~n:alloc.(i))));
       incr rounds;
       planned := !planned + this_round;
       let lo, hi, _, _ = plan_interval plan in

@@ -1,0 +1,70 @@
+(** Noise-aware comparison of two BENCH_*.json documents (the
+    [{ "section"; "schema"; "runs": [<Statsdoc>...] }] files the bench
+    harness writes with [--json]) — the engine behind
+    [netrel benchdiff OLD NEW] and bench's [--baseline] mode.
+
+    Runs are grouped by [(run.method, run.graph)]; repeats of the same
+    pair within one file are treated as repeated measurements. For each
+    tracked metric the comparison is median-of-repeats against
+    median-of-repeats, and the per-metric threshold is
+
+    [max (rel_tol * |old_median|) (mad_mult * MAD(old)) abs_floor]
+
+    so that a noisy baseline (large median absolute deviation across
+    its repeats) automatically widens its own gate, while sub-floor
+    jitter (20 ms of wall clock, 1 ms of chunk latency, a megaword of
+    allocation) never trips it. Each metric carries a direction:
+    [run.seconds], the chunk-latency quantiles and the GC words are
+    lower-better, [sampling.kernel.samples_per_sec] is higher-better.
+    A metric missing on either side (e.g. an old-schema baseline
+    without histograms) is skipped, never an error: the gate only
+    compares what both documents measured. *)
+
+type direction = Lower_better | Higher_better
+
+type status = Ok | Regression | Improvement
+
+type row = {
+  group : string;      (** ["method/graph"] *)
+  metric : string;     (** dotted path into the run document *)
+  old_median : float;
+  new_median : float;
+  tolerance : float;   (** realised absolute threshold for this row *)
+  delta : float;       (** [new_median -. old_median], unsigned direction *)
+  status : status;
+}
+
+type report = {
+  rows : row list;
+  regressions : int;
+  improvements : int;
+  missing_groups : string list;  (** in the baseline, absent from new *)
+  new_groups : string list;      (** in new, absent from the baseline *)
+}
+
+val default_rel_tol : float
+(** Relative tolerance [0.25]: a 25% median shift is the default gate. *)
+
+val default_mad_mult : float
+(** MAD multiplier [6.0] — roughly 4 sigma for normal noise
+    (MAD ~ 0.674 sigma). *)
+
+val metrics : (string * direction * float) list
+(** The tracked metrics: dotted path, direction, absolute floor. *)
+
+val compare_docs :
+  ?rel_tol:float -> ?mad_mult:float -> old_doc:Obs.Json.t ->
+  new_doc:Obs.Json.t -> unit -> (report, string) result
+(** Compare two parsed BENCH documents. [Error] only on structurally
+    unusable input (no [runs] list, or no run carrying
+    [run.method]/[run.graph]); a regression is a successful comparison
+    with {!regressed} true. *)
+
+val regressed : report -> bool
+
+val render_human : report -> string
+(** Fixed-width table, one row per (group, metric), plus skipped-group
+    notes and a one-line summary. Deterministic for equal reports. *)
+
+val render_json : report -> Obs.Json.t
+(** The same report as a JSON document (full float precision). *)

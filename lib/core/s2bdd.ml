@@ -1,6 +1,20 @@
 module F = Bddbase.Fstate
 module O = Graphalgo.Ordering
 
+(* GC accounting around a phase or a parallel task: measure only when
+   the observer is live and the fake clock has not pinned metrics off
+   (byte-stability contract); record the zero delta otherwise so the
+   stats document keeps its shape. *)
+let gc_begin o =
+  if Obs.enabled o && Obs.gc_counters_live () then
+    Some (Metrics.Gcstat.snapshot ())
+  else None
+
+let gc_end = function
+  | None -> Metrics.Gcstat.zero
+  | Some before ->
+      Metrics.Gcstat.delta ~before ~after:(Metrics.Gcstat.snapshot ())
+
 type estimator =
   | Monte_carlo
   | Horvitz_thompson
@@ -312,8 +326,11 @@ let construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume =
     in
     let gain = resolved_after -. resolved_before in
     (* Per-layer trajectory: pre-deletion width and the resolved-mass
-       bounds after the layer (bounded series; see Obs.series). *)
+       bounds after the layer (bounded series; see Obs.series), plus
+       the width distribution (histogram — the tail is what saturates
+       the deletion heuristic). *)
     Obs.series co "width" (float_of_int width);
+    Obs.hist co "hist.layer_width" width;
     Obs.series co "pc" (Xprob.to_float_approx !pc);
     Obs.series co "pd" (Xprob.to_float_approx !pd);
     if Trace.enabled trace then begin
@@ -441,7 +458,9 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         if n > 0 then enqueue n (float_of_int n /. float_of_int s_eff)
       end
     in
+    let gc0 = gc_begin co in
     let c = construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume in
+    Obs.record_gc co "gc" (gc_end gc0);
     Obs.add co "sampled_nodes" !sampled_nodes;
     (* Stratified descents: every consumed node is an independent task;
        run them on the pool (or inline) and fold the per-task
@@ -458,6 +477,7 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           let tr = Trace.task trace ~lane:(i mod lanes) in
           let ts = Trace.now tr in
           let t0 = Obs.now obs in
+          let g0 = gc_begin so in
           let t = task_arr.(i) in
           let sc = Kernel.scratch () in
           let c =
@@ -466,25 +486,26 @@ let estimate ?pool ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           in
           Trace.complete tr ~ts "descent"
             ~args:[ ("task", Int i); ("n", Int t.t_n) ];
-          (c, Obs.now obs -. t0, tr))
+          (c, Obs.now obs -. t0, gc_end g0, tr))
     in
     let descent_secs = ref 0. in
     let contribution =
       Array.fold_left
-        (fun acc (c, dt, tr) ->
+        (fun acc (c, dt, gd, tr) ->
           Obs.record_span so "descent" dt;
+          Obs.hist_seconds so "hist.descent_ns" dt;
+          Obs.record_gc so "gc" gd;
           descent_secs := !descent_secs +. dt;
           Trace.merge ~into:trace tr;
           acc +. c)
         0. contribs
     in
-    (* Kernel throughput over the descent tasks: summed per-task wall
-       time, so the gauge reads as per-domain samples/sec. *)
+    (* Kernel time over the descent tasks: summed per-task wall time
+       (so the derived samples/sec reads as per-domain throughput),
+       recorded as a monotonic-timer span; the samples_per_sec figure
+       itself is derived at report time (Statsdoc), never stored. *)
     Obs.add so "kernel.samples" !samples_drawn;
-    Obs.gauge so "kernel.samples_per_sec"
-      (if !descent_secs > 0. then
-         float_of_int !samples_drawn /. !descent_secs
-       else 0.);
+    Obs.record_span so "kernel.elapsed" !descent_secs;
     let lower = Xprob.to_float_approx c.c_pc in
     (* [pc] and [pd] are each correct to an ulp, but the float rounding
        of [1 - pd] is independent of [pc]'s, so on a fully resolved run
@@ -611,7 +632,9 @@ let prepare ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         }
         :: !strata
     in
+    let gc0 = gc_begin co in
     let c = construct ~obs ~co ~trace ~cfg ~ctx ~rng g ~consume in
+    Obs.record_gc co "gc" (gc_end gc0);
     let strata = Array.of_list (List.rev !strata) in
     Obs.add co "sampled_nodes" (Array.length strata);
     if Array.length strata = 0 then

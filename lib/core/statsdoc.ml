@@ -11,12 +11,12 @@ type run = {
   width : int;
 }
 
-let schema_version = 1
+let schema_version = 2
 
 let required_keys =
   [
     "netrel"; "run"; "preprocess"; "construction"; "sampling"; "adaptive";
-    "par"; "result";
+    "par"; "gc"; "result";
   ]
 
 let phase rendered name =
@@ -70,6 +70,17 @@ let result_of_adaptive ~value ~lower ~upper ~exact ~ci_width ~target_width
     ]
 
 let build ~obs ~run ~seconds ~result =
+  (* Throughput is derived here, at report time, from the summed
+     monotonic kernel timer — the old mid-run gauge raced between
+     chunks and whichever worker wrote last won. *)
+  if Obs.mem obs "sampling.kernel.samples" then begin
+    let samples =
+      float_of_int (Obs.counter_value obs "sampling.kernel.samples")
+    in
+    let elapsed = Obs.timer_seconds obs "sampling.kernel.elapsed" in
+    Obs.gauge obs "sampling.kernel.samples_per_sec"
+      (if elapsed > 0. then samples /. elapsed else 0.)
+  end;
   let rendered = Obs.to_json obs in
   let pc = Par.counters () in
   let par_section =
@@ -103,5 +114,6 @@ let build ~obs ~run ~seconds ~result =
       ("sampling", phase rendered "sampling");
       ("adaptive", phase rendered "adaptive");
       ("par", par_section);
+      ("gc", phase rendered "gc");
       ("result", result);
     ]

@@ -6,9 +6,15 @@
     schema version), [run] (what was asked), [preprocess],
     [construction], [sampling], [adaptive] and [par] (the per-phase accounts
     recorded into an {!Obs.t} during the run — empty objects for phases
-    that did not execute), and [result] (what came out). Keys inside
+    that did not execute), [gc] (the whole-run [Gc.quick_stat] delta,
+    schema 2), and [result] (what came out). Keys inside
     the phase objects are sorted ({!Obs.to_json}), so for a fixed seed
-    and a deterministic clock the document is byte-stable. *)
+    and a deterministic clock the document is byte-stable.
+
+    Schema history: v2 added the top-level [gc] section, per-phase
+    [gc.*] counters and [hist.*] histogram objects inside the phase
+    sections, and made [sampling.kernel.samples_per_sec] a report-time
+    derivation from the [kernel.elapsed] monotonic timer. *)
 
 type run = {
   command : string;    (** e.g. ["estimate"] or ["bench"] *)

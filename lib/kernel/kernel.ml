@@ -126,6 +126,10 @@ type t = {
   mutable stamp : int array;
   mutable gen : int;
   mutable live : int;
+  (* Edge-union attempts performed by the last connectivity entry point
+     (summed over agreement sweeps and lane peels for the bit-sliced
+     path) — the early-exit depth the observability layer histograms. *)
+  mutable union_steps : int;
 }
 
 (* A Csr no caller can hold: fresh scratch rejects connectivity calls
@@ -151,6 +155,7 @@ let create () =
     stamp = [||];
     gen = 0;
     live = 0;
+    union_steps = 0;
   }
 
 let scratch_key : t Domain.DLS.key = Domain.DLS.new_key create
@@ -386,10 +391,14 @@ let union_drawn t (c : Csr.t) =
     union t eu.(pos) ev.(pos);
     incr i
   done;
+  t.union_steps <- t.union_steps + !i;
   t.live <= 1
+
+let union_steps t = t.union_steps
 
 let connected_terminals t (c : Csr.t) terminals =
   round_begin t ~elems:c.Csr.n;
+  t.union_steps <- 0;
   mark_terminals t terminals;
   union_drawn t c
 
@@ -405,6 +414,7 @@ let union_lane t (c : Csr.t) ~lane =
     if (slab.(!i) lsr lane) land 1 = 1 then union t eu.(!i) ev.(!i);
     incr i
   done;
+  t.union_steps <- t.union_steps + !i;
   t.live <= 1
 
 let connected_lane t (c : Csr.t) terminals ~lane =
@@ -412,6 +422,7 @@ let connected_lane t (c : Csr.t) terminals ~lane =
   if lane < 0 || lane >= Prng.Bitbatch.lanes then
     invalid_arg "Kernel.connected_lane";
   round_begin t ~elems:c.Csr.n;
+  t.union_steps <- 0;
   mark_terminals t terminals;
   union_lane t c ~lane
 
@@ -429,12 +440,14 @@ let connected_lanes t (c : Csr.t) terminals ~active =
        counts < 2 (single or duplicated terminals) with no union at
        all. *)
     round_begin t ~elems:c.Csr.n;
+    t.union_steps <- 0;
     mark_terminals t terminals;
     let i = ref 0 in
     while t.live > 1 && !i < m do
       if slab.(!i) land active = active then union t eu.(!i) ev.(!i);
       incr i
     done;
+    t.union_steps <- t.union_steps + !i;
     if t.live <= 1 then active
     else begin
       (* Superset round: union every edge any active lane drew; each
@@ -447,6 +460,7 @@ let connected_lanes t (c : Csr.t) terminals ~active =
         if slab.(!i) land active <> 0 then union t eu.(!i) ev.(!i);
         incr i
       done;
+      t.union_steps <- t.union_steps + !i;
       if t.live > 1 then 0
       else begin
         (* Lanes disagree: peel each active lane into its own

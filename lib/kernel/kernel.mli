@@ -213,3 +213,14 @@ val connected_terminals : t -> Csr.t -> int array -> bool
 (** One full round: [round_begin] over the graph's vertices, [mark]
     each terminal, [union_drawn]. The complete MC connectivity check
     for the last draw. *)
+
+val union_steps : t -> int
+(** Edge-union attempts performed by the last full connectivity entry
+    point ({!connected_terminals}, {!connected_lane} or
+    {!connected_lanes} — for the latter summed over agreement sweeps
+    and lane peels). This is the early-exit depth: how far into the
+    drawn-present buffer the union loop ran before the terminals
+    merged (or the buffer ran out), the quantity the observability
+    layer histograms to show what early exit actually saves. Raw
+    {!union_drawn} calls accumulate onto the last entry point's
+    count. *)

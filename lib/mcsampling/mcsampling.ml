@@ -122,16 +122,51 @@ let emit_estimate trace (e : estimate) =
    chunk's stream consumption is independent of how the batch
    boundaries land. *)
 
-let mc_chunk_flat csr term_arr rng len =
+(* Worker-local instrumentation for one chunk: an early-exit-depth
+   histogram filled on the worker and merged exactly (bucket-count
+   addition) on the calling thread, plus the chunk's GC delta. Both
+   are [None]/zero when the observer is disabled, preserving the
+   zero-overhead contract; GC measurement is additionally pinned off
+   under NETREL_FAKE_CLOCK so documents stay byte-stable. *)
+let chunk_depth o =
+  if Obs.enabled o then Some (Metrics.Histogram.create ()) else None
+
+let depth_record depth sc =
+  match depth with
+  | None -> ()
+  | Some h -> Metrics.Histogram.record h (Kernel.union_steps sc)
+
+let chunk_gc_begin o =
+  if Obs.enabled o && Obs.gc_counters_live () then
+    Some (Metrics.Gcstat.snapshot ())
+  else None
+
+let chunk_gc_end = function
+  | None -> Metrics.Gcstat.zero
+  | Some before ->
+      Metrics.Gcstat.delta ~before ~after:(Metrics.Gcstat.snapshot ())
+
+(* Fold one chunk's instrumentation into the sampling observer (main
+   thread, chunk order). *)
+let chunk_obs o dt depth gd =
+  Obs.record_span o "chunk" dt;
+  Obs.hist_seconds o "hist.chunk_ns" dt;
+  (match depth with
+  | None -> ()
+  | Some h -> Obs.hist_merge o "hist.early_exit_depth" h);
+  Obs.record_gc o "gc" gd
+
+let mc_chunk_flat ?depth csr term_arr rng len =
   let sc = Kernel.scratch () in
   let hits = ref 0 in
   for _ = 1 to len do
     Kernel.draw sc csr rng;
-    if Kernel.connected_terminals sc csr term_arr then incr hits
+    if Kernel.connected_terminals sc csr term_arr then incr hits;
+    depth_record depth sc
   done;
   !hits
 
-let mc_chunk_bitsliced csr term_arr rng len =
+let mc_chunk_bitsliced ?depth csr term_arr rng len =
   let sc = Kernel.scratch () in
   let hits = ref 0 in
   let remaining = ref len in
@@ -146,6 +181,7 @@ let mc_chunk_bitsliced csr term_arr rng len =
       !hits
       + Prng.Bitbatch.popcount
           (Kernel.connected_lanes sc csr term_arr ~active);
+    depth_record depth sc;
     remaining := !remaining - batch
   done;
   !hits
@@ -173,17 +209,19 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
           let tr = Trace.task trace ~lane:(i mod lanes) in
           let ts = Trace.now tr in
           let t0 = Obs.now obs in
+          let depth = chunk_depth o in
+          let g0 = chunk_gc_begin o in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let hits =
             match kernel with
-            | Flat -> mc_chunk_flat csr term_arr rng len
-            | Bitsliced -> mc_chunk_bitsliced csr term_arr rng len
+            | Flat -> mc_chunk_flat ?depth csr term_arr rng len
+            | Bitsliced -> mc_chunk_bitsliced ?depth csr term_arr rng len
           in
           Trace.complete tr ~ts "mc.chunk"
             ~args:
               [ ("chunk", Int i); ("samples", Int len); ("hits", Int hits) ];
-          (hits, Obs.now obs -. t0, tr))
+          (hits, Obs.now obs -. t0, depth, chunk_gc_end g0, tr))
     in
     let kernel_secs = Obs.now obs -. t_kernel in
     (* Ordered reduction: integer hits fold in chunk order (associative
@@ -191,8 +229,8 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
        per-task trace buffers fold back in the same order. *)
     let hits =
       Array.fold_left
-        (fun acc (h, dt, tr) ->
-          Obs.record_span o "chunk" dt;
+        (fun acc (h, dt, depth, gd, tr) ->
+          chunk_obs o dt depth gd;
           Trace.merge ~into:trace tr;
           acc + h)
         0 chunk_hits
@@ -202,8 +240,7 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
     Obs.add o "hits" hits;
     Obs.add o "connectivity_checks" samples;
     Obs.add o "kernel.samples" samples;
-    Obs.gauge o "kernel.samples_per_sec"
-      (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
+    Obs.record_span o "kernel.elapsed" kernel_secs;
     let variance_estimate = value *. (1. -. value) /. float_of_int samples in
     Obs.gauge o "wald_variance" variance_estimate;
     emit_estimate trace
@@ -224,7 +261,7 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
    masks (both replay the Hash64.mask digest), so dedup semantics are
    identical; only the sampled worlds differ. *)
 
-let ht_chunk_flat csr term_arr rng len =
+let ht_chunk_flat ?depth csr term_arr rng len =
   let sc = Kernel.scratch () in
   let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
   let order = Array.make len 0 in
@@ -234,6 +271,7 @@ let ht_chunk_flat csr term_arr rng len =
     let h = Kernel.mask_hash sc in
     if not (Hashtbl.mem seen h) then begin
       let connected = Kernel.connected_terminals sc csr term_arr in
+      depth_record depth sc;
       Hashtbl.add seen h (prob, connected);
       order.(!n_order) <- h;
       incr n_order
@@ -241,7 +279,7 @@ let ht_chunk_flat csr term_arr rng len =
   done;
   (seen, order, !n_order)
 
-let ht_chunk_bitsliced csr term_arr rng len =
+let ht_chunk_bitsliced ?depth csr term_arr rng len =
   let sc = Kernel.scratch () in
   let seen : (int, Xprob.t * bool) Hashtbl.t = Hashtbl.create len in
   let order = Array.make len 0 in
@@ -256,6 +294,7 @@ let ht_chunk_bitsliced csr term_arr rng len =
       if not (Hashtbl.mem seen h) then begin
         let prob = Kernel.world_prob sc csr ~lane in
         let connected = Kernel.connected_lane sc csr term_arr ~lane in
+        depth_record depth sc;
         Hashtbl.add seen h (prob, connected);
         order.(!n_order) <- h;
         incr n_order
@@ -295,12 +334,14 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           let tr = Trace.task trace ~lane:(i mod lanes) in
           let ts = Trace.now tr in
           let t0 = Obs.now obs in
+          let depth = chunk_depth o in
+          let g0 = chunk_gc_begin o in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let seen, order, n_order =
             match kernel with
-            | Flat -> ht_chunk_flat csr term_arr rng len
-            | Bitsliced -> ht_chunk_bitsliced csr term_arr rng len
+            | Flat -> ht_chunk_flat ?depth csr term_arr rng len
+            | Bitsliced -> ht_chunk_bitsliced ?depth csr term_arr rng len
           in
           Trace.complete tr ~ts "ht.chunk"
             ~args:
@@ -310,7 +351,7 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
                 ("unique", Int (Hashtbl.length seen));
                 ("drawn", Int len);
               ];
-          (seen, order, n_order, Obs.now obs -. t0, tr))
+          (seen, order, n_order, Obs.now obs -. t0, depth, chunk_gc_end g0, tr))
     in
     let kernel_secs = Obs.now obs -. t_kernel in
     (* Stage 2 (ordered reduction): merge the per-chunk tables in chunk
@@ -327,15 +368,16 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
       Obs.time o "merge" @@ fun () ->
       let bound =
         Array.fold_left
-          (fun acc (_, _, n_order, _, _) -> acc + n_order)
+          (fun acc (_, _, n_order, _, _, _, _) -> acc + n_order)
           0 chunk_tables
       in
       let merged : (int, unit) Hashtbl.t = Hashtbl.create bound in
       let entries = Array.make (max bound 1) (Xprob.one, false) in
       let cursor = ref 0 in
       Array.iter
-        (fun (tab, order, n_order, dt, tr) ->
-          Obs.record_span o "chunk" dt;
+        (fun (tab, order, n_order, dt, depth, gd, tr) ->
+          chunk_obs o dt depth gd;
+          Obs.hist o "hist.dedup_occupancy" n_order;
           Trace.merge ~into:trace tr;
           for j = 0 to n_order - 1 do
             let h = order.(j) in
@@ -384,8 +426,7 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
     Obs.add o "connectivity_checks" distinct;
     Obs.gauge o "dedup_ratio" (float_of_int distinct /. float_of_int samples);
     Obs.add o "kernel.samples" samples;
-    Obs.gauge o "kernel.samples_per_sec"
-      (if kernel_secs > 0. then float_of_int samples /. kernel_secs else 0.);
+    Obs.record_span o "kernel.elapsed" kernel_secs;
     Obs.gauge o "wald_variance" (Float.max 0. v);
     emit_estimate trace
       {
@@ -559,7 +600,6 @@ module Chunked = struct
     mutable mc_hits : int;
     mutable mc_chunks : int;
     mutable mc_schedule : int list; (* chunk lengths, most recent first *)
-    mutable mc_kernel_secs : float;
   }
 
   let create_common ~obs ~kernel ~estimator g ~terminals ~jobs =
@@ -587,7 +627,6 @@ module Chunked = struct
       mc_hits = 0;
       mc_chunks = 0;
       mc_schedule = [];
-      mc_kernel_secs = 0.;
     }
 
   (* One round: split the new chunks' streams off the retained master
@@ -607,12 +646,14 @@ module Chunked = struct
           let tr = Trace.task t.mc_trace ~lane:(i mod lanes) in
           let ts = Trace.now tr in
           let t0 = Obs.now t.mc_obs in
+          let depth = chunk_depth t.mc_obs in
+          let g0 = chunk_gc_begin t.mc_obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let hits =
             match t.mc_kernel with
-            | Flat -> mc_chunk_flat t.mc_csr t.mc_terms rng len
-            | Bitsliced -> mc_chunk_bitsliced t.mc_csr t.mc_terms rng len
+            | Flat -> mc_chunk_flat ?depth t.mc_csr t.mc_terms rng len
+            | Bitsliced -> mc_chunk_bitsliced ?depth t.mc_csr t.mc_terms rng len
           in
           Trace.complete tr ~ts "mc.chunk"
             ~args:
@@ -621,13 +662,13 @@ module Chunked = struct
                 ("samples", Int len);
                 ("hits", Int hits);
               ];
-          (hits, Obs.now t.mc_obs -. t0, tr))
+          (hits, Obs.now t.mc_obs -. t0, depth, chunk_gc_end g0, tr))
     in
-    t.mc_kernel_secs <- t.mc_kernel_secs +. (Obs.now t.mc_obs -. t_kernel);
+    Obs.record_span t.mc_obs "kernel.elapsed" (Obs.now t.mc_obs -. t_kernel);
     let hits =
       Array.fold_left
-        (fun acc (h, dt, tr) ->
-          Obs.record_span t.mc_obs "chunk" dt;
+        (fun acc (h, dt, depth, gd, tr) ->
+          chunk_obs t.mc_obs dt depth gd;
           Trace.merge ~into:t.mc_trace tr;
           acc + h)
         0 chunk_hits
@@ -651,10 +692,6 @@ module Chunked = struct
     let variance_estimate =
       value *. (1. -. value) /. float_of_int t.mc_samples
     in
-    Obs.gauge t.mc_obs "kernel.samples_per_sec"
-      (if t.mc_kernel_secs > 0. then
-         float_of_int t.mc_samples /. t.mc_kernel_secs
-       else 0.);
     Obs.gauge t.mc_obs "wald_variance" variance_estimate;
     emit_estimate t.mc_trace
       {
@@ -690,7 +727,6 @@ module Chunked = struct
     mutable ht_chunks : int;
     mutable ht_tables : ht_chunk list; (* most recent first *)
     mutable ht_schedule : int list;
-    mutable ht_kernel_secs : float;
   }
 
   let ht_create ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
@@ -708,7 +744,6 @@ module Chunked = struct
       ht_chunks = 0;
       ht_tables = [];
       ht_schedule = [];
-      ht_kernel_secs = 0.;
     }
 
   let ht_draw t ~samples =
@@ -724,12 +759,14 @@ module Chunked = struct
           let tr = Trace.task t.ht_trace ~lane:(i mod lanes) in
           let ts = Trace.now tr in
           let t0 = Obs.now t.ht_obs in
+          let depth = chunk_depth t.ht_obs in
+          let g0 = chunk_gc_begin t.ht_obs in
           let _, len = chunks.(i) in
           let rng = rngs.(i) in
           let seen, order, n_order =
             match t.ht_kernel with
-            | Flat -> ht_chunk_flat t.ht_csr t.ht_terms rng len
-            | Bitsliced -> ht_chunk_bitsliced t.ht_csr t.ht_terms rng len
+            | Flat -> ht_chunk_flat ?depth t.ht_csr t.ht_terms rng len
+            | Bitsliced -> ht_chunk_bitsliced ?depth t.ht_csr t.ht_terms rng len
           in
           Trace.complete tr ~ts "ht.chunk"
             ~args:
@@ -741,12 +778,15 @@ module Chunked = struct
               ];
           ( { hc_tab = seen; hc_order = order; hc_n_order = n_order },
             Obs.now t.ht_obs -. t0,
+            depth,
+            chunk_gc_end g0,
             tr ))
     in
-    t.ht_kernel_secs <- t.ht_kernel_secs +. (Obs.now t.ht_obs -. t_kernel);
+    Obs.record_span t.ht_obs "kernel.elapsed" (Obs.now t.ht_obs -. t_kernel);
     Array.iter
-      (fun (hc, dt, tr) ->
-        Obs.record_span t.ht_obs "chunk" dt;
+      (fun (hc, dt, depth, gd, tr) ->
+        chunk_obs t.ht_obs dt depth gd;
+        Obs.hist t.ht_obs "hist.dedup_occupancy" hc.hc_n_order;
         Trace.merge ~into:t.ht_trace tr;
         t.ht_tables <- hc :: t.ht_tables)
       chunk_tables;
@@ -805,10 +845,6 @@ module Chunked = struct
       Obs.gauge t.ht_obs "raw_variance" v
     end;
     Obs.gauge t.ht_obs "dedup_ratio" (float_of_int n_entries /. s_f);
-    Obs.gauge t.ht_obs "kernel.samples_per_sec"
-      (if t.ht_kernel_secs > 0. then
-         float_of_int samples /. t.ht_kernel_secs
-       else 0.);
     Obs.gauge t.ht_obs "wald_variance" (Float.max 0. v);
     emit_estimate t.ht_trace
       {

@@ -30,9 +30,15 @@
     HT, [distinct] plus a [dedup_ratio] gauge), per-chunk spans on the
     [chunk] timer, a [total] timer, and for HT a [merge] timer around
     the ordered table merge. The kernel fast path additionally records a
-    [kernel.samples] counter and a [kernel.samples_per_sec] gauge
-    (throughput over the parallel sampling region; [0.] under a fake
-    clock). They also accept a {!Trace.t} and stream
+    [kernel.samples] counter and a [kernel.elapsed] timer (the summed
+    monotonic wall-clock of the parallel sampling region; [0.] under a
+    fake clock) from which the report layer derives
+    [kernel.samples_per_sec] — the throughput figure is computed at
+    report time, never stored mid-run. Per-chunk latency, early-exit
+    union depth and (for HT) dedup-table occupancy additionally land in
+    [hist.chunk_ns], [hist.early_exit_depth] and [hist.dedup_occupancy]
+    histograms, and each chunk's [Gc.quick_stat] delta accumulates
+    under [gc.*]. They also accept a {!Trace.t} and stream
     one [mc.chunk] / [ht.chunk] span per chunk (recorded into a
     per-task buffer on lane [chunk mod jobs] and merged back in chunk
     order, per the {!Trace} lane contract; HT chunks carry

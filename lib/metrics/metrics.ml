@@ -1,0 +1,166 @@
+module Histogram = struct
+  let sub_bits = 4
+  let sub_count = 1 lsl sub_bits
+
+  (* Highest set bit index for max_int is 61 (62-bit positive ints), so
+     the largest bucket index is (61 - 4 + 1) * 16 + 15 = 943. *)
+  let bucket_count = ((Sys.int_size - 2 - sub_bits + 1) * sub_count) + sub_count
+
+  type t = {
+    counts : int array;
+    mutable total : int;
+    mutable maxv : int;
+  }
+
+  let create () = { counts = Array.make bucket_count 0; total = 0; maxv = 0 }
+
+  let copy h = { h with counts = Array.copy h.counts }
+
+  (* Index of the most significant set bit of [v >= 1]: byte steps then
+     bit steps, branch-light and allocation-free. *)
+  let msb v =
+    let k = ref 0 and x = ref v in
+    while !x >= 0x100 do
+      x := !x lsr 8;
+      k := !k + 8
+    done;
+    while !x >= 2 do
+      x := !x lsr 1;
+      incr k
+    done;
+    !k
+
+  let bucket_of v =
+    let v = if v < 0 then 0 else v in
+    if v < sub_count then v
+    else
+      let k = msb v in
+      let shift = k - sub_bits in
+      ((shift + 1) lsl sub_bits) lor ((v lsr shift) land (sub_count - 1))
+
+  let lower_bound idx =
+    if idx < sub_count then idx
+    else
+      let e = (idx lsr sub_bits) - 1 in
+      let rem = idx land (sub_count - 1) in
+      (sub_count + rem) lsl e
+
+  let record_n h v n =
+    if n > 0 then begin
+      let v = if v < 0 then 0 else v in
+      let i = bucket_of v in
+      h.counts.(i) <- h.counts.(i) + n;
+      h.total <- h.total + n;
+      if v > h.maxv then h.maxv <- v
+    end
+
+  let record h v = record_n h v 1
+
+  let count h = h.total
+  let max_value h = h.maxv
+
+  let quantile h q =
+    if h.total = 0 then 0
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int h.total)) in
+        if r < 1 then 1 else if r > h.total then h.total else r
+      in
+      let cum = ref 0 and i = ref 0 and res = ref 0 in
+      (try
+         while !i < bucket_count do
+           let c = h.counts.(!i) in
+           if c > 0 then begin
+             cum := !cum + c;
+             if !cum >= rank then begin
+               res := lower_bound !i;
+               raise Exit
+             end
+           end;
+           incr i
+         done
+       with Exit -> ());
+      !res
+    end
+
+  let merge ~into src =
+    for i = 0 to bucket_count - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    into.total <- into.total + src.total;
+    if src.maxv > into.maxv then into.maxv <- src.maxv
+
+  let nonzero_buckets h =
+    let acc = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (i, h.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let equal a b = a.total = b.total && a.maxv = b.maxv && a.counts = b.counts
+end
+
+module Gcstat = struct
+  type snapshot = {
+    s_minor_words : float;
+    s_promoted_words : float;
+    s_major_words : float;
+    s_minor_collections : int;
+    s_major_collections : int;
+    s_compactions : int;
+    s_top_heap_words : int;
+  }
+
+  type delta = {
+    minor_words : int;
+    promoted_words : int;
+    major_words : int;
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    top_heap_words : int;
+  }
+
+  let snapshot () =
+    let s = Gc.quick_stat () in
+    {
+      (* quick_stat's minor_words only advances at collection
+         boundaries in native code; Gc.minor_words reads the live
+         allocation pointer, so short phases still account their
+         allocation. *)
+      s_minor_words = Gc.minor_words ();
+      s_promoted_words = s.Gc.promoted_words;
+      s_major_words = s.Gc.major_words;
+      s_minor_collections = s.Gc.minor_collections;
+      s_major_collections = s.Gc.major_collections;
+      s_compactions = s.Gc.compactions;
+      s_top_heap_words = s.Gc.top_heap_words;
+    }
+
+  let words d = if d <= 0. then 0 else int_of_float d
+
+  let delta ~before ~after =
+    {
+      minor_words = words (after.s_minor_words -. before.s_minor_words);
+      promoted_words = words (after.s_promoted_words -. before.s_promoted_words);
+      major_words = words (after.s_major_words -. before.s_major_words);
+      minor_collections =
+        max 0 (after.s_minor_collections - before.s_minor_collections);
+      major_collections =
+        max 0 (after.s_major_collections - before.s_major_collections);
+      compactions = max 0 (after.s_compactions - before.s_compactions);
+      top_heap_words = after.s_top_heap_words;
+    }
+
+  let zero =
+    {
+      minor_words = 0;
+      promoted_words = 0;
+      major_words = 0;
+      minor_collections = 0;
+      major_collections = 0;
+      compactions = 0;
+      top_heap_words = 0;
+    }
+end

@@ -1,0 +1,112 @@
+(** Deterministic measurement primitives shared by the observability
+    stack: an HDR-style log-bucketed histogram whose merge is exact
+    integer bucket addition (so parallel ordered reduction cannot
+    perturb it), and GC accounting snapshots/deltas over
+    [Gc.quick_stat].
+
+    This library is dependency-free on purpose: {!Obs} builds its
+    histogram cells and GC phase accounting on top of it, and tests can
+    exercise the arithmetic directly. *)
+
+module Histogram : sig
+  (** Fixed-layout base-2 histogram over non-negative integers.
+
+      Values are bucketed by their power-of-two magnitude with
+      {!sub_count} linear sub-buckets per octave (the HdrHistogram
+      layout with 4 significant value bits).  The layout is a constant
+      of the library — every histogram has the same bucket boundaries —
+      so {!merge} is plain element-wise addition of counts: exact,
+      associative and commutative.  Relative bucket error is bounded by
+      [1/16] (6.25%).
+
+      Negative values are clamped to [0] on record.  All state is
+      integral; two histograms fed the same multiset of values are
+      structurally identical regardless of recording or merge order. *)
+
+  type t
+
+  val sub_bits : int
+  (** Sub-bucket resolution: [2^sub_bits] linear buckets per octave. *)
+
+  val sub_count : int
+  (** [1 lsl sub_bits]. *)
+
+  val bucket_count : int
+  (** Total number of buckets in the fixed layout (covers every
+      non-negative OCaml [int]). *)
+
+  val create : unit -> t
+  (** An empty histogram. *)
+
+  val copy : t -> t
+
+  val record : t -> int -> unit
+  (** [record h v] adds one occurrence of [v] (clamped to [>= 0]). *)
+
+  val record_n : t -> int -> int -> unit
+  (** [record_n h v n] adds [n] occurrences of [v].  [n <= 0] is a
+      no-op. *)
+
+  val count : t -> int
+  (** Total number of recorded values. *)
+
+  val max_value : t -> int
+  (** Largest value recorded so far ([0] when empty) — tracked exactly,
+      not bucket-rounded. *)
+
+  val quantile : t -> float -> int
+  (** [quantile h q] for [q] in [[0, 1]]: the lower bound of the bucket
+      holding the value of rank [ceil (q * count)] (rank clamped to
+      [[1, count]]); [0] when empty.  Lower bounds are monotone in the
+      bucket index, so quantiles are monotone in [q], and
+      [quantile h 1.0 <= max_value h]. *)
+
+  val merge : into:t -> t -> unit
+  (** Element-wise addition of bucket counts; [max_value] takes the
+      maximum.  Exact: merging in any order or grouping yields the same
+      histogram. *)
+
+  val nonzero_buckets : t -> (int * int) list
+  (** [(bucket_index, count)] pairs in increasing index order, empty
+      buckets omitted — the compact wire encoding. *)
+
+  val bucket_of : int -> int
+  (** The bucket index a value falls into (exposed for tests). *)
+
+  val lower_bound : int -> int
+  (** The smallest value mapping to the given bucket index (exposed for
+      tests); [lower_bound (bucket_of v) <= v]. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality on counts and exact max. *)
+end
+
+module Gcstat : sig
+  (** Allocation and collection accounting over [Gc.quick_stat].
+
+      A {!snapshot} freezes the allocator counters; {!delta} turns a
+      before/after pair into per-phase costs.  Word counts are reported
+      as non-negative integers (OCaml's float-valued counters are exact
+      integers until well past 2^53 words, far beyond any run we
+      account). *)
+
+  type snapshot
+
+  type delta = {
+    minor_words : int;       (** words allocated in the minor heap *)
+    promoted_words : int;    (** words promoted minor -> major *)
+    major_words : int;       (** words allocated in the major heap *)
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    top_heap_words : int;    (** absolute high-water mark at [after] *)
+  }
+
+  val snapshot : unit -> snapshot
+
+  val delta : before:snapshot -> after:snapshot -> delta
+
+  val zero : delta
+  (** The all-zero delta — what phases record when measurement is
+      pinned off (fake clock) so document shape is preserved. *)
+end

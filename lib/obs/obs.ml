@@ -264,6 +264,7 @@ type cell =
   | Timer of timer_r
   | Text of text_r
   | Series of series
+  | Hist of Metrics.Histogram.t
 
 type t = {
   on : bool;
@@ -281,8 +282,13 @@ let fake_clock_requested () =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
+(* CLOCK_MONOTONIC via the bechamel stub: immune to wall-clock steps,
+   so durations (and the throughput figures derived from them at report
+   time) can never go negative or get skewed by NTP adjustments. *)
+let monotonic_clock () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let default_clock () =
-  if fake_clock_requested () then zero_clock else Unix.gettimeofday
+  if fake_clock_requested () then zero_clock else monotonic_clock
 
 let create ?clock () =
   let clock = match clock with Some c -> c | None -> default_clock () in
@@ -345,6 +351,15 @@ let series_cell t k =
       Hashtbl.add t.cells k (Series s);
       s
 
+let hist_cell t k =
+  match Hashtbl.find_opt t.cells k with
+  | Some (Hist h) -> h
+  | Some _ -> kind_clash k
+  | None ->
+      let h = Metrics.Histogram.create () in
+      Hashtbl.add t.cells k (Hist h);
+      h
+
 let add t name d =
   if t.on then (
     let r = counter_cell t (key t name) in
@@ -399,6 +414,17 @@ let series_push s v =
 
 let series t name v = if t.on then series_push (series_cell t (key t name)) v
 
+let hist t name v =
+  if t.on then Metrics.Histogram.record (hist_cell t (key t name)) v
+
+let ns_of_seconds dt =
+  if dt <= 0. then 0 else int_of_float ((dt *. 1e9) +. 0.5)
+
+let hist_seconds t name dt = hist t name (ns_of_seconds dt)
+
+let hist_merge t name h =
+  if t.on then Metrics.Histogram.merge ~into:(hist_cell t (key t name)) h
+
 let counter_value t name =
   match Hashtbl.find_opt t.cells (key t name) with
   | Some (Counter r) -> r.c
@@ -429,6 +455,23 @@ let series_values t name =
   | Some (Series s) -> Array.sub s.values 0 s.len
   | _ -> [||]
 
+let hist_count t name =
+  match Hashtbl.find_opt t.cells (key t name) with
+  | Some (Hist h) -> Metrics.Histogram.count h
+  | _ -> 0
+
+let hist_max t name =
+  match Hashtbl.find_opt t.cells (key t name) with
+  | Some (Hist h) -> Metrics.Histogram.max_value h
+  | _ -> 0
+
+let hist_quantile t name q =
+  match Hashtbl.find_opt t.cells (key t name) with
+  | Some (Hist h) -> Metrics.Histogram.quantile h q
+  | _ -> 0
+
+let mem t name = Hashtbl.mem t.cells (key t name)
+
 let merge ~into src =
   if into.on && src.on then begin
     let keys =
@@ -449,15 +492,73 @@ let merge ~into src =
             let d = series_cell into (key into k) in
             for i = 0 to s.len - 1 do
               series_push d s.values.(i)
-            done)
+            done
+        | Hist h ->
+            Metrics.Histogram.merge ~into:(hist_cell into (key into k)) h)
       keys
   end
+
+(* GC accounting.  Word and collection deltas accumulate as counters
+   (so per-task deltas add up under ordered reduction exactly like
+   spans do); the heap high-water mark is a max-gauge.  Under the fake
+   clock the cells are still created but pinned to zero — the document
+   keeps its shape while staying byte-stable and jobs-invariant. *)
+
+let gc_counters_live () = not (fake_clock_requested ())
+
+let record_gc t name (d : Metrics.Gcstat.delta) =
+  if t.on then begin
+    add t (name ^ ".minor_words") d.minor_words;
+    add t (name ^ ".promoted_words") d.promoted_words;
+    add t (name ^ ".major_words") d.major_words;
+    add t (name ^ ".minor_collections") d.minor_collections;
+    add t (name ^ ".major_collections") d.major_collections;
+    add t (name ^ ".compactions") d.compactions;
+    gauge_max t (name ^ ".top_heap_words") (float_of_int d.top_heap_words)
+  end
+
+let gc_phase t ?emit name f =
+  let live = (t.on || emit <> None) && gc_counters_live () in
+  if not live then begin
+    record_gc t name Metrics.Gcstat.zero;
+    f ()
+  end
+  else
+    let before = Metrics.Gcstat.snapshot () in
+    Fun.protect
+      ~finally:(fun () ->
+        let d =
+          Metrics.Gcstat.delta ~before ~after:(Metrics.Gcstat.snapshot ())
+        in
+        record_gc t name d;
+        match emit with
+        | None -> ()
+        | Some emit ->
+            emit (name ^ ".minor_words") (float_of_int d.minor_words);
+            emit (name ^ ".major_words") (float_of_int d.major_words);
+            emit (name ^ ".top_heap_words") (float_of_int d.top_heap_words))
+      f
 
 let cell_json = function
   | Counter r -> Json.Int r.c
   | Gauge r -> Json.Float r.g
   | Text r -> Json.Str r.txt
   | Timer r -> Json.Obj [ ("seconds", Json.Float r.total); ("count", Json.Int r.count) ]
+  | Hist h ->
+      let module H = Metrics.Histogram in
+      Json.Obj
+        [
+          ("count", Json.Int (H.count h));
+          ("max", Json.Int (H.max_value h));
+          ("p50", Json.Int (H.quantile h 0.5));
+          ("p90", Json.Int (H.quantile h 0.9));
+          ("p99", Json.Int (H.quantile h 0.99));
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+                 (H.nonzero_buckets h)) );
+        ]
   | Series s ->
       Json.Obj
         [

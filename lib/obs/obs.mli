@@ -64,8 +64,9 @@ val create : ?clock:(unit -> float) -> unit -> t
 (** A live observer.  [clock] defaults to {!default_clock}[ ()]. *)
 
 val default_clock : unit -> unit -> float
-(** The clock {!create} uses when none is given: [Unix.gettimeofday],
-    or the constant [0.] clock when [NETREL_FAKE_CLOCK] is set (see
+(** The clock {!create} uses when none is given: [CLOCK_MONOTONIC]
+    seconds (via the bechamel stub — immune to wall-clock steps), or
+    the constant [0.] clock when [NETREL_FAKE_CLOCK] is set (see
     above).  Shared with {!Trace} so every subsystem honours the same
     pin. *)
 
@@ -112,6 +113,41 @@ val series : t -> string -> float -> unit
     dropped and the sampling stride doubles, deterministically — the
     JSON records the final stride as [every]. *)
 
+val hist : t -> string -> int -> unit
+(** Records an integer value into a {!Metrics.Histogram} cell: fixed
+    base-2 sub-bucketed layout, so merging is exact bucket-count
+    addition and quantiles are deterministic (see {!Metrics}). *)
+
+val hist_seconds : t -> string -> float -> unit
+(** [hist t name (round (dt * 1e9))]: records a duration in integer
+    nanoseconds.  Name the key with an [_ns] suffix so readers (and
+    benchdiff's direction table) know the unit. *)
+
+val hist_merge : t -> string -> Metrics.Histogram.t -> unit
+(** Merges an externally accumulated histogram (e.g. one a parallel
+    worker filled locally) into the named cell — exact, so fold order
+    cannot perturb the result. *)
+
+(** {2 GC accounting} *)
+
+val gc_counters_live : unit -> bool
+(** Whether GC deltas are measured at all: false under
+    [NETREL_FAKE_CLOCK], where phases record zeros instead so
+    documents stay byte-stable and jobs-invariant. *)
+
+val record_gc : t -> string -> Metrics.Gcstat.delta -> unit
+(** Records a measured GC delta under [name.*]: word/collection
+    counters add (per-task deltas accumulate under ordered reduction),
+    [name.top_heap_words] is a max-gauge. *)
+
+val gc_phase : t -> ?emit:(string -> float -> unit) -> string -> (unit -> 'a) -> 'a
+(** [gc_phase t name f] runs [f] and records the [Gc.quick_stat] delta
+    it caused under [name.*] (also on exceptional exit).  [emit] is
+    called with [(key, value)] for the headline counters (minor/major
+    words, top-heap words) when measurement is live — the hook
+    {!Trace} counter events ride on.  Under the fake clock nothing is
+    measured or emitted and the cells record zero. *)
+
 (** {2 Reading back} *)
 
 val counter_value : t -> string -> int
@@ -120,6 +156,14 @@ val text_value : t -> string -> string
 val timer_seconds : t -> string -> float
 val timer_count : t -> string -> int
 val series_values : t -> string -> float array
+
+val hist_count : t -> string -> int
+val hist_max : t -> string -> int
+val hist_quantile : t -> string -> float -> int
+
+val mem : t -> string -> bool
+(** Whether a cell exists under the (prefixed) name — lets report-time
+    derivations distinguish "never recorded" from a zero value. *)
 
 (** {2 Aggregation and rendering} *)
 
@@ -134,5 +178,7 @@ val to_json : t -> Json.t
 (** All cells as a nested object: dotted keys split on ['.'], keys
     sorted at every level.  Counters render as ints, gauges as floats,
     text as strings, timers as [{"seconds": s, "count": n}], series as
-    [{"every": k, "values": [...]}].  A key that is both a leaf and a
-    prefix renders the leaf under ["value"]. *)
+    [{"every": k, "values": [...]}], histograms as
+    [{"count", "max", "p50", "p90", "p99", "buckets": [[idx, n], ...]}]
+    with only non-empty buckets listed.  A key that is both a leaf and
+    a prefix renders the leaf under ["value"]. *)

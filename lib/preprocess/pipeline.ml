@@ -106,6 +106,15 @@ let run ?(obs = Obs.disabled) ?(trace = Trace.disabled) g ~terminals =
   else if List.exists (fun t -> Ugraph.degree g t = 0) terminals then
     trivial "trivial_zero" Xprob.zero
   else begin
+    (* Allocation accounting covers the whole non-trivial pipeline: the
+       trivial returns above never build intermediate graphs, so their
+       GC deltas would only be noise. *)
+    let emit =
+      if Trace.enabled trace then
+        Some (fun k v -> Trace.counter trace ("preprocess." ^ k) v)
+      else None
+    in
+    Obs.gc_phase o ?emit "gc" @@ fun () ->
     (* Prune: restrict to the Steiner subtree of the block tree. *)
     let pruned_opt =
       Trace.span trace "prune" @@ fun () ->

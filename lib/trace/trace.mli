@@ -126,6 +126,13 @@ val counter : t -> string -> float -> unit
 (** One sample of a named counter-over-time (Chrome ["C"] events — the
     per-layer frontier width, for instance, plots directly). *)
 
+val gc_counters : t -> string -> Metrics.Gcstat.delta -> unit
+(** [gc_counters t prefix d] records one Chrome counter sample per
+    headline GC metric ([prefix ^ ".gc.minor_words"], [".gc.major_words"]
+    and [".gc.top_heap_words"]) from a phase delta. Suppressed entirely
+    under [NETREL_FAKE_CLOCK] (see {!Obs.gc_counters_live}) so pinned
+    trace outputs stay byte-stable. *)
+
 val complete : t -> ?args:(string * arg) list -> ts:float -> string -> unit
 (** [complete t ~ts name] records a span that began at [ts] (a value of
     {!now}[ t]) and ends now — for spans whose arguments are only known

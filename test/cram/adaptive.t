@@ -41,12 +41,42 @@ full stats document is byte-identical across jobs values:
   >   --ci-width 0.0015 --jobs 8 --stats json | grep -v '"jobs"' > adaptive_j8.json
   $ cmp adaptive_j1.json adaptive_j8.json
 
-The adaptive section carries the loop account, and the result carries
-the stopped Wilson interval (nonzero width even this close to 1):
+The adaptive section carries the loop account, its per-phase GC delta
+(all zeros under the fake clock), and the round-size histogram; the
+result carries the stopped Wilson interval (nonzero width even this
+close to 1):
 
-  $ sed -n '/"adaptive"/,/},/p' adaptive_j1.json
+  $ sed -n '/"adaptive"/,/^  },/p' adaptive_j1.json
     "adaptive": {
       "ci_width": 0.0011074442102849691,
+      "gc": {
+        "compactions": 0,
+        "major_collections": 0,
+        "major_words": 0,
+        "minor_collections": 0,
+        "minor_words": 0,
+        "promoted_words": 0,
+        "top_heap_words": 0.0
+      },
+      "hist": {
+        "round_size": {
+          "count": 2,
+          "max": 5884,
+          "p50": 4096,
+          "p90": 5632,
+          "p99": 5632,
+          "buckets": [
+            [
+              144,
+              1
+            ],
+            [
+              150,
+              1
+            ]
+          ]
+        }
+      },
       "rounds": 2,
       "samples_planned": 9980,
       "samples_used": 9980,

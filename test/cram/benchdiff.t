@@ -1,0 +1,138 @@
+The benchdiff regression gate: compare two BENCH_*.json documents with
+noise-aware per-metric thresholds. Synthetic fixtures so every number
+(and hence the output) is pinned byte-for-byte.
+
+A baseline with two repeats of kernel-mc (median 0.105 s, throughput
+97.5k samples/s) plus one kernel-ht run:
+
+  $ cat > OLD.json <<'EOF'
+  > {"section":"kernels","schema":2,"runs":[
+  >  {"run":{"method":"kernel-mc","graph":"Karate","seconds":0.10},
+  >   "sampling":{"kernel":{"samples_per_sec":100000.0},
+  >               "hist":{"chunk_ns":{"p50":2000000,"p99":4000000}}},
+  >   "gc":{"minor_words":5000000,"top_heap_words":2000000}},
+  >  {"run":{"method":"kernel-mc","graph":"Karate","seconds":0.11},
+  >   "sampling":{"kernel":{"samples_per_sec":95000.0},
+  >               "hist":{"chunk_ns":{"p50":2100000,"p99":4100000}}},
+  >   "gc":{"minor_words":5000000,"top_heap_words":2000000}},
+  >  {"run":{"method":"kernel-ht","graph":"Karate","seconds":0.20},
+  >   "sampling":{"kernel":{"samples_per_sec":50000.0}},
+  >   "gc":{"minor_words":9000000,"top_heap_words":3000000}}]}
+  > EOF
+
+A healthy candidate: every metric within the gate (25% of the old
+median, 6 MADs of the baseline repeats, or the absolute floor,
+whichever is widest). Exit 0.
+
+  $ cat > NEW_OK.json <<'EOF'
+  > {"section":"kernels","schema":2,"runs":[
+  >  {"run":{"method":"kernel-mc","graph":"Karate","seconds":0.105},
+  >   "sampling":{"kernel":{"samples_per_sec":98000.0},
+  >               "hist":{"chunk_ns":{"p50":2050000,"p99":4050000}}},
+  >   "gc":{"minor_words":5100000,"top_heap_words":2000000}},
+  >  {"run":{"method":"kernel-ht","graph":"Karate","seconds":0.21},
+  >   "sampling":{"kernel":{"samples_per_sec":49000.0}},
+  >   "gc":{"minor_words":9100000,"top_heap_words":3000000}}]}
+  > EOF
+
+  $ netrel benchdiff OLD.json NEW_OK.json
+  group                        metric                                          old            new    tolerance       status
+  kernel-mc/Karate             run.seconds                                   0.105          0.105         0.03           ok
+  kernel-mc/Karate             sampling.kernel.samples_per_sec               97500          98000        24375           ok
+  kernel-mc/Karate             sampling.hist.chunk_ns.p50                 2.05e+06       2.05e+06        1e+06           ok
+  kernel-mc/Karate             sampling.hist.chunk_ns.p99                 4.05e+06       4.05e+06   1.0125e+06           ok
+  kernel-mc/Karate             gc.minor_words                                5e+06        5.1e+06     1.25e+06           ok
+  kernel-mc/Karate             gc.top_heap_words                             2e+06          2e+06        1e+06           ok
+  kernel-ht/Karate             run.seconds                                     0.2           0.21         0.05           ok
+  kernel-ht/Karate             sampling.kernel.samples_per_sec               50000          49000        12500           ok
+  kernel-ht/Karate             gc.minor_words                                9e+06        9.1e+06     2.25e+06           ok
+  kernel-ht/Karate             gc.top_heap_words                             3e+06          3e+06        1e+06           ok
+  benchdiff: 10 compared, 0 regression(s), 0 improvement(s)
+
+An injected 2x slowdown on kernel-mc (wall clock doubled, throughput
+halved, chunk latency up): the gate trips on the timing metrics and
+the exit code is 1.
+
+  $ cat > NEW_SLOW.json <<'EOF'
+  > {"section":"kernels","schema":2,"runs":[
+  >  {"run":{"method":"kernel-mc","graph":"Karate","seconds":0.22},
+  >   "sampling":{"kernel":{"samples_per_sec":45000.0},
+  >               "hist":{"chunk_ns":{"p50":4500000,"p99":9000000}}},
+  >   "gc":{"minor_words":5100000,"top_heap_words":2000000}},
+  >  {"run":{"method":"kernel-ht","graph":"Karate","seconds":0.20},
+  >   "sampling":{"kernel":{"samples_per_sec":50000.0}},
+  >   "gc":{"minor_words":9000000,"top_heap_words":3000000}}]}
+  > EOF
+
+  $ netrel benchdiff OLD.json NEW_SLOW.json
+  group                        metric                                          old            new    tolerance       status
+  kernel-mc/Karate             run.seconds                                   0.105           0.22         0.03   REGRESSION
+  kernel-mc/Karate             sampling.kernel.samples_per_sec               97500          45000        24375   REGRESSION
+  kernel-mc/Karate             sampling.hist.chunk_ns.p50                 2.05e+06        4.5e+06        1e+06   REGRESSION
+  kernel-mc/Karate             sampling.hist.chunk_ns.p99                 4.05e+06          9e+06   1.0125e+06   REGRESSION
+  kernel-mc/Karate             gc.minor_words                                5e+06        5.1e+06     1.25e+06           ok
+  kernel-mc/Karate             gc.top_heap_words                             2e+06          2e+06        1e+06           ok
+  kernel-ht/Karate             run.seconds                                     0.2            0.2         0.05           ok
+  kernel-ht/Karate             sampling.kernel.samples_per_sec               50000          50000        12500           ok
+  kernel-ht/Karate             gc.minor_words                                9e+06          9e+06     2.25e+06           ok
+  kernel-ht/Karate             gc.top_heap_words                             3e+06          3e+06        1e+06           ok
+  benchdiff: 10 compared, 4 regression(s), 0 improvement(s)
+  [1]
+
+A wider --tolerance waves the same slowdown through (10.0 = only a
+10x median shift fails — the cross-machine setting the tier-1 smoke
+gate uses):
+
+  $ netrel benchdiff OLD.json NEW_SLOW.json --tolerance 10.0 | tail -1
+  benchdiff: 10 compared, 0 regression(s), 0 improvement(s)
+
+Groups present on only one side are reported but never compared, and
+metrics missing from either document (the ht runs carry no histograms)
+are skipped — visible above as kernel-ht rows having no chunk_ns
+lines.
+
+  $ cat > NEW_PARTIAL.json <<'EOF'
+  > {"section":"kernels","schema":2,"runs":[
+  >  {"run":{"method":"kernel-mc","graph":"Karate","seconds":0.10}},
+  >  {"run":{"method":"kernel-new","graph":"Karate","seconds":0.10}}]}
+  > EOF
+
+  $ netrel benchdiff OLD.json NEW_PARTIAL.json
+  group                        metric                                          old            new    tolerance       status
+  kernel-mc/Karate             run.seconds                                   0.105            0.1         0.03           ok
+  [group kernel-ht/Karate: in baseline only, skipped]
+  [group kernel-new/Karate: new, no baseline]
+  benchdiff: 1 compared, 0 regression(s), 0 improvement(s)
+
+--json emits the same report as one machine-readable document:
+
+  $ netrel benchdiff OLD.json NEW_PARTIAL.json --json
+  {
+    "rows": [
+      {
+        "group": "kernel-mc/Karate",
+        "metric": "run.seconds",
+        "direction": "lower",
+        "old_median": 0.10500000000000001,
+        "new_median": 0.1,
+        "delta": -0.0050000000000000044,
+        "tolerance": 0.029999999999999985,
+        "status": "ok"
+      }
+    ],
+    "missing_groups": [
+      "kernel-ht/Karate"
+    ],
+    "new_groups": [
+      "kernel-new/Karate"
+    ],
+    "regressions": 0,
+    "improvements": 0
+  }
+
+Unusable input (no runs list) is a usage error, exit 2:
+
+  $ echo '{}' > EMPTY.json
+  $ netrel benchdiff EMPTY.json NEW_OK.json
+  netrel: old document: document has no top-level "runs" list
+  [2]

@@ -15,7 +15,7 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
   {
     "netrel": {
       "emitter": "netrel",
-      "schema": 1,
+      "schema": 2,
       "tool": "selfcheck"
     },
     "run": {

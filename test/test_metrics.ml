@@ -1,0 +1,334 @@
+(* The measurement layer (lib/metrics): histogram layout/merge algebra,
+   GC delta accounting, the benchdiff regression gate, and the
+   jobs-invariance of the histograms the samplers record. *)
+
+open Testutil
+module H = Metrics.Histogram
+module Gcstat = Metrics.Gcstat
+module J = Obs.Json
+module B = Netrel.Benchdiff
+
+(* ---- histogram unit behavior ---- *)
+
+let t_basics () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check int) "empty max" 0 (H.max_value h);
+  Alcotest.(check int) "empty quantile" 0 (H.quantile h 0.5);
+  H.record h 0;
+  H.record h 7;
+  H.record h 1000;
+  H.record h (-5);
+  Alcotest.(check int) "count" 4 (H.count h);
+  Alcotest.(check int) "max exact" 1000 (H.max_value h);
+  (* Values below sub_count are bucketed exactly. *)
+  Alcotest.(check int) "small values exact" 7 (H.quantile h 0.75);
+  Alcotest.(check int) "negative clamps to 0" 0 (H.quantile h 0.25);
+  H.record_n h 3 0;
+  H.record_n h 3 (-2);
+  Alcotest.(check int) "record_n <= 0 is a no-op" 4 (H.count h)
+
+let t_bucket_mapping () =
+  (* Exhaustive near the small/sub-bucketed boundary, then probes up the
+     octaves: the bucket's lower bound never exceeds the value, and
+     bucket indices are monotone in the value. *)
+  let check v =
+    let b = H.bucket_of v in
+    Alcotest.(check bool)
+      (Printf.sprintf "lower_bound (bucket_of %d) <= %d" v v)
+      true
+      (H.lower_bound b <= v);
+    if v > 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket_of monotone at %d" v)
+        true
+        (H.bucket_of (v - 1) <= b)
+  in
+  for v = 0 to 4096 do check v done;
+  let v = ref 1 in
+  while !v < max_int / 4 do
+    check !v;
+    check (!v - 1);
+    check (!v + 1);
+    v := !v * 2
+  done;
+  (* Relative bucket error bound: lower_bound is within 1/16 of v. *)
+  for i = 4 to 40 do
+    let v = (1 lsl i) + (1 lsl (i - 2)) in
+    let lb = H.lower_bound (H.bucket_of v) in
+    Alcotest.(check bool)
+      (Printf.sprintf "relative error at %d" v)
+      true
+      (float_of_int (v - lb) <= float_of_int v /. 16.)
+  done
+
+let hist_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60) (oneof [ int_bound 100; int_bound 100_000_000 ]))
+
+let hist_of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let arb_values =
+  QCheck.make ~print:QCheck.Print.(list int) hist_gen
+
+let q_merge_commutative =
+  QCheck.Test.make ~name:"histogram merge commutative" ~count:300
+    (QCheck.pair arb_values arb_values)
+    (fun (a, b) ->
+      let ab = hist_of_list a and ba = hist_of_list b in
+      H.merge ~into:ab (hist_of_list b);
+      H.merge ~into:ba (hist_of_list a);
+      H.equal ab ba)
+
+let q_merge_associative =
+  QCheck.Test.make ~name:"histogram merge associative" ~count:300
+    (QCheck.triple arb_values arb_values arb_values)
+    (fun (a, b, c) ->
+      (* (a <- b) <- c  vs  a <- (b <- c) *)
+      let left = hist_of_list a in
+      H.merge ~into:left (hist_of_list b);
+      H.merge ~into:left (hist_of_list c);
+      let bc = hist_of_list b in
+      H.merge ~into:bc (hist_of_list c);
+      let right = hist_of_list a in
+      H.merge ~into:right bc;
+      H.equal left right)
+
+let q_merge_is_concat =
+  QCheck.Test.make ~name:"merge = histogram of concatenation" ~count:300
+    (QCheck.pair arb_values arb_values)
+    (fun (a, b) ->
+      let m = hist_of_list a in
+      H.merge ~into:m (hist_of_list b);
+      H.equal m (hist_of_list (a @ b)))
+
+let q_quantiles_monotone =
+  QCheck.Test.make ~name:"quantiles monotone in q, q=1 <= max" ~count:300
+    arb_values
+    (fun vs ->
+      let h = hist_of_list vs in
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let values = List.map (H.quantile h) qs in
+      let rec mono = function
+        | x :: (y :: _ as rest) -> x <= y && mono rest
+        | _ -> true
+      in
+      mono values && H.quantile h 1.0 <= H.max_value h)
+
+let q_counts_conserved =
+  QCheck.Test.make ~name:"bucket counts sum to count" ~count:300 arb_values
+    (fun vs ->
+      let h = hist_of_list vs in
+      List.fold_left (fun acc (_, c) -> acc + c) 0 (H.nonzero_buckets h)
+      = H.count h
+      && H.count h = List.length vs)
+
+(* ---- GC accounting ---- *)
+
+let t_gc_delta () =
+  let before = Gcstat.snapshot () in
+  (* Allocate enough to be visible in minor words whatever the GC did
+     in between. *)
+  let acc = ref [] in
+  for i = 0 to 10_000 do acc := (i, float_of_int i) :: !acc done;
+  ignore (Sys.opaque_identity !acc);
+  let d = Gcstat.delta ~before ~after:(Gcstat.snapshot ()) in
+  Alcotest.(check bool) "minor words grew" true (d.Gcstat.minor_words > 0);
+  Alcotest.(check bool) "promoted >= 0" true (d.Gcstat.promoted_words >= 0);
+  Alcotest.(check bool) "major >= 0" true (d.Gcstat.major_words >= 0);
+  Alcotest.(check bool) "top heap positive" true (d.Gcstat.top_heap_words > 0);
+  Alcotest.(check int) "zero delta" 0 Gcstat.zero.Gcstat.minor_words
+
+(* ---- histogram JSON is jobs-invariant ---- *)
+
+(* Under a constant clock every time-based histogram degenerates to
+   bucket 0 and every count-based histogram (early-exit depth, dedup
+   occupancy, round sizes, layer widths) depends only on the seed and
+   the chunk layout — never on how chunks were spread over domains. So
+   the rendered "hist" subtrees must be byte-identical at every jobs
+   value. (GC deltas are real and machine-dependent here, hence not
+   part of this comparison; the cram tests pin them via the fake
+   clock, which zeroes them.) *)
+let hists_rendered obs =
+  let doc = Obs.to_json obs in
+  List.map
+    (fun section ->
+      let h =
+        Option.bind (J.member section doc) (J.member "hist")
+        |> Option.value ~default:(J.Obj [])
+      in
+      (section, J.to_string h))
+    [ "preprocess"; "construction"; "sampling"; "adaptive" ]
+
+let karate () = (Workload.Datasets.karate ~seed:1 ()).Workload.Datasets.graph
+
+let jobs_invariant name run () =
+  let render jobs =
+    let obs = Obs.create ~clock:(fun () -> 0.) () in
+    run ~obs ~jobs;
+    hists_rendered obs
+  in
+  let base = render 1 in
+  List.iter
+    (fun jobs ->
+      List.iter2
+        (fun (section, expected) (_, got) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s %s.hist at jobs=%d" name section jobs)
+            expected got)
+        base (render jobs))
+    [ 2; 8 ]
+
+let t_hist_jobs_invariant_mc =
+  jobs_invariant "mc" (fun ~obs ~jobs ->
+      ignore
+        (Mcsampling.monte_carlo ~obs ~seed:5 ~jobs (karate ())
+           ~terminals:[ 0; 33 ] ~samples:4_000))
+
+let t_hist_jobs_invariant_ht =
+  jobs_invariant "ht" (fun ~obs ~jobs ->
+      ignore
+        (Mcsampling.horvitz_thompson ~obs ~seed:5 ~jobs (karate ())
+           ~terminals:[ 0; 33 ] ~samples:4_000))
+
+let t_hist_jobs_invariant_pro =
+  jobs_invariant "pro" (fun ~obs ~jobs ->
+      let module S = Netrel.S2bdd in
+      let config =
+        { S.default_config with S.samples = 1_000; S.width = 64; S.seed = 5 }
+      in
+      ignore
+        (Netrel.Reliability.estimate ~obs ~config ~jobs (karate ())
+           ~terminals:[ 0; 33 ]))
+
+(* The non-histogram early-exit plumbing: the sampler actually recorded
+   per-sample union depths, and samples_per_sec is derived (not stored)
+   so the document carries samples/elapsed, not a racy gauge. *)
+let t_sampler_hist_contents () =
+  let obs = Obs.create ~clock:(fun () -> 0.) () in
+  ignore
+    (Mcsampling.monte_carlo ~obs ~seed:5 ~jobs:2 (karate ())
+       ~terminals:[ 0; 33 ] ~samples:4_000);
+  Alcotest.(check int) "one depth per sample" 4_000
+    (Obs.hist_count obs "sampling.hist.early_exit_depth");
+  Alcotest.(check bool) "depth p99 positive" true
+    (Obs.hist_quantile obs "sampling.hist.early_exit_depth" 0.99 > 0);
+  Alcotest.(check bool) "chunk_ns histogram present" true
+    (Obs.mem obs "sampling.hist.chunk_ns");
+  Alcotest.(check bool) "no stored samples_per_sec gauge" false
+    (Obs.mem obs "sampling.kernel.samples_per_sec");
+  Alcotest.(check int) "kernel.samples counter" 4_000
+    (Obs.counter_value obs "sampling.kernel.samples")
+
+(* ---- benchdiff ---- *)
+
+let bench_doc runs =
+  J.Obj
+    [ ("section", J.Str "t"); ("schema", J.Int 2); ("runs", J.List runs) ]
+
+let bench_run ?(method_ = "m") ?(graph = "g") ?(extra = []) seconds =
+  J.Obj
+    ([ ( "run",
+         J.Obj
+           [ ("method", J.Str method_); ("graph", J.Str graph);
+             ("seconds", J.Float seconds) ] ) ]
+    @ extra)
+
+let diff ?rel_tol ?mad_mult old_runs new_runs =
+  match
+    B.compare_docs ?rel_tol ?mad_mult ~old_doc:(bench_doc old_runs)
+      ~new_doc:(bench_doc new_runs) ()
+  with
+  | Ok rep -> rep
+  | Error msg -> Alcotest.failf "benchdiff unexpectedly failed: %s" msg
+
+let t_benchdiff_gate () =
+  (* 2x slowdown on run.seconds trips the default 25% gate... *)
+  let rep = diff [ bench_run 0.2 ] [ bench_run 0.4 ] in
+  Alcotest.(check int) "2x slowdown regresses" 1 rep.B.regressions;
+  Alcotest.(check bool) "regressed" true (B.regressed rep);
+  (* ... a 2x speedup is an improvement, not a regression ... *)
+  let rep = diff [ bench_run 0.4 ] [ bench_run 0.2 ] in
+  Alcotest.(check int) "speedup is no regression" 0 rep.B.regressions;
+  Alcotest.(check int) "speedup is improvement" 1 rep.B.improvements;
+  (* ... and sub-floor jitter never trips it, even at huge relative
+     shift (5 ms -> 15 ms is 3x but under the 20 ms floor). *)
+  let rep = diff [ bench_run 0.005 ] [ bench_run 0.015 ] in
+  Alcotest.(check int) "sub-floor jitter ok" 0 rep.B.regressions
+
+let t_benchdiff_median_mad () =
+  (* Median of repeats: one outlier baseline run must not dominate. *)
+  let olds = [ bench_run 0.2; bench_run 0.21; bench_run 5.0 ] in
+  let rep = diff olds [ bench_run 0.22 ] in
+  Alcotest.(check int) "median ignores outlier" 0 rep.B.regressions;
+  (* A noisy baseline widens its own gate: these repeats have MAD 0.1,
+     so 6 * MAD = 0.6 admits a shift the 25% rule alone would flag. *)
+  let noisy = [ bench_run 0.4; bench_run 0.5; bench_run 0.6 ] in
+  let rep = diff noisy [ bench_run 0.9 ] in
+  Alcotest.(check int) "MAD widens tolerance" 0 rep.B.regressions;
+  let rep = diff noisy [ bench_run 1.2 ] in
+  Alcotest.(check int) "beyond MAD band regresses" 1 rep.B.regressions
+
+let t_benchdiff_direction_and_groups () =
+  let thr v =
+    [ ( "sampling",
+        J.Obj [ ("kernel", J.Obj [ ("samples_per_sec", J.Float v) ]) ] ) ]
+  in
+  (* Throughput is higher-better: halving it regresses, doubling is an
+     improvement. *)
+  let rep =
+    diff
+      [ bench_run ~extra:(thr 100000.) 0.1 ]
+      [ bench_run ~extra:(thr 50000.) 0.1 ]
+  in
+  Alcotest.(check int) "throughput drop regresses" 1 rep.B.regressions;
+  let rep =
+    diff
+      [ bench_run ~extra:(thr 50000.) 0.1 ]
+      [ bench_run ~extra:(thr 100000.) 0.1 ]
+  in
+  Alcotest.(check int) "throughput gain ok" 0 rep.B.regressions;
+  (* Groups present on only one side are reported, not compared. *)
+  let rep =
+    diff
+      [ bench_run ~method_:"a" 0.1; bench_run ~method_:"gone" 0.1 ]
+      [ bench_run ~method_:"a" 0.1; bench_run ~method_:"new" 0.1 ]
+  in
+  Alcotest.(check (list string)) "missing group" [ "gone/g" ]
+    rep.B.missing_groups;
+  Alcotest.(check (list string)) "new group" [ "new/g" ] rep.B.new_groups;
+  (* Structurally unusable documents are errors, not reports. *)
+  (match B.compare_docs ~old_doc:(J.Obj []) ~new_doc:(bench_doc []) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no-runs document must be rejected")
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "histogram basics" `Quick t_basics;
+      Alcotest.test_case "bucket mapping" `Quick t_bucket_mapping;
+      Alcotest.test_case "gc delta" `Quick t_gc_delta;
+      Alcotest.test_case "hist jobs-invariant (mc)" `Slow
+        t_hist_jobs_invariant_mc;
+      Alcotest.test_case "hist jobs-invariant (ht)" `Slow
+        t_hist_jobs_invariant_ht;
+      Alcotest.test_case "hist jobs-invariant (pro)" `Slow
+        t_hist_jobs_invariant_pro;
+      Alcotest.test_case "sampler histogram contents" `Quick
+        t_sampler_hist_contents;
+      Alcotest.test_case "benchdiff gate" `Quick t_benchdiff_gate;
+      Alcotest.test_case "benchdiff median/MAD" `Quick t_benchdiff_median_mad;
+      Alcotest.test_case "benchdiff direction/groups" `Quick
+        t_benchdiff_direction_and_groups;
+    ]
+    @ qtests
+        [
+          q_merge_commutative;
+          q_merge_associative;
+          q_merge_is_concat;
+          q_quantiles_monotone;
+          q_counts_conserved;
+        ] )
