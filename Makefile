@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive bench-all clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive bench-batch bench-all clean
 
 build:
 	dune build
@@ -59,7 +59,18 @@ bench-adaptive:
 	dune exec bench/main.exe -- --force --only adaptive --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
-# Regenerate every tracked BENCH_*.json in one pass: the five
+# The amortized multi-query engine behind `netrel batch`/`serve`: 16
+# queries (4 distinct x 4 repeats) on karate served through one engine
+# vs from scratch, with bit-identity asserted per answer and the cache
+# counters asserted to prove the amortization, emitting the
+# self-validated BENCH_batch.json at the repo root — the tracked
+# per-query amortization artifact (engine vs scratch run.seconds).
+# Also runs under `dune runtest`.
+bench-batch:
+	dune exec bench/main.exe -- --force --only batch --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Regenerate every tracked BENCH_*.json in one pass: the six
 # JSON-emitting sections in quick mode, 3 repeats per (dataset, method)
 # pair so `netrel benchdiff` gets real median/MAD noise bands, --force
 # because the committed baselines already sit at the repo root. Run
@@ -67,7 +78,7 @@ bench-adaptive:
 # `netrel benchdiff OLD.json NEW.json` gates the comparison.
 bench-all:
 	dune exec bench/main.exe -- --force --repeats 3 --json \
-	  --only table5,parallel,kernels,bitsliced,adaptive --quick \
+	  --only table5,parallel,kernels,bitsliced,adaptive,batch --quick \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

@@ -64,15 +64,18 @@ let () =
     !scale
     (if !quick then ", quick" else "")
     !seed;
-  let total_t0 = Unix.gettimeofday () in
+  (* Section wall-clock on CLOCK_MONOTONIC, matching the stats timings:
+     an NTP step mid-run would make gettimeofday differences negative or
+     skewed in the emitted BENCH_*.json. *)
+  let total_t0 = Relstats.now_monotonic () in
   List.iter
     (fun name ->
       match List.assoc_opt name Sections.all_sections with
       | Some f ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Relstats.now_monotonic () in
         f cfg;
         Printf.printf "[section %s: %s]\n%!" name
-          (Relstats.format_seconds (Unix.gettimeofday () -. t0))
+          (Relstats.format_seconds (Relstats.now_monotonic () -. t0))
       | None ->
         Printf.eprintf "unknown section %S; known: %s\n" name
           (String.concat ", " (List.map fst Sections.all_sections));
@@ -80,4 +83,4 @@ let () =
     wanted;
   if !bechamel then Micro.run !seed;
   Printf.printf "\nTotal: %s\n"
-    (Relstats.format_seconds (Unix.gettimeofday () -. total_t0))
+    (Relstats.format_seconds (Relstats.now_monotonic () -. total_t0))

@@ -1061,6 +1061,185 @@ let adaptive cfg =
     datasets;
   emit_json cfg ~section:"adaptive" ~trace:tr (List.rev !stats_docs)
 
+(* ---- batch: the amortized multi-query engine vs from-scratch ---- *)
+
+let batch cfg =
+  banner "Batch: amortized multi-query engine vs from-scratch"
+    "The workload behind `netrel batch`/`serve`: 16 queries (4 distinct,\n\
+     each repeated 4 times) against one graph. The engine builds the\n\
+     graph context, Csr snapshot and per-terminal-set preprocessing once\n\
+     and memoizes full results, so repeats are near-free; every answer\n\
+     is asserted bit-identical to the from-scratch estimate. The section\n\
+     fails if the cache counters do not prove the amortization or the\n\
+     per-query speedup falls below the floor.";
+  let d = D.karate ~seed:cfg.seed () in
+  let g = d.D.graph in
+  let s_pro = if cfg.quick then 3_000 else 10_000 in
+  let w = if cfg.quick then 64 else 1_000 in
+  let s_mc = if cfg.quick then 2_000 else 10_000 in
+  let distinct =
+    [
+      { Engine.default with Engine.terminals = [ 0; 33 ]; samples = s_pro;
+        width = w; seed = cfg.seed };
+      { Engine.default with Engine.terminals = [ 0; 33 ];
+        method_ = Engine.Sampling_mc; samples = s_mc; seed = cfg.seed };
+      { Engine.default with Engine.terminals = [ 0; 16; 33 ];
+        samples = s_pro; width = w; ci_width = Some 0.02;
+        max_samples = Some 100_000; seed = cfg.seed };
+      { Engine.default with Engine.terminals = [ 0; 33 ];
+        method_ = Engine.Sampling_ht; samples = s_mc; seed = cfg.seed };
+    ]
+  in
+  let queries = List.concat (List.init 4 (fun _ -> distinct)) in
+  let n = List.length queries in
+  let eng = Engine.create ~obs:(Obs.create ()) () in
+  let served =
+    List.map
+      (fun q ->
+        let t0 = Relstats.now_monotonic () in
+        let a = Engine.query eng g q in
+        (q, a, Relstats.now_monotonic () -. t0))
+      queries
+  in
+  let engine_dt = List.fold_left (fun acc (_, _, dt) -> acc +. dt) 0. served in
+  (* The same 16 queries computed from scratch, exactly as the CLI's
+     single-shot estimate path would. *)
+  let scratch_one (q : Engine.query) =
+    let config =
+      { S.default_config with S.samples = q.Engine.samples;
+        S.width = q.Engine.width; S.seed = q.Engine.seed }
+    in
+    match (q.Engine.method_, q.Engine.ci_width) with
+    | Engine.Pro, None ->
+      (R.estimate ~config g ~terminals:q.Engine.terminals).R.value
+    | Engine.Pro, Some cw ->
+      (Adaptive.reliability ~config ~jobs:1 ?max_samples:q.Engine.max_samples g
+         ~terminals:q.Engine.terminals ~ci_width:cw)
+        .Adaptive.value
+    | Engine.Sampling_mc, None ->
+      (Mcsampling.monte_carlo ~seed:q.Engine.seed g
+         ~terminals:q.Engine.terminals ~samples:q.Engine.samples)
+        .Mcsampling.value
+    | Engine.Sampling_ht, None ->
+      (Mcsampling.horvitz_thompson ~seed:q.Engine.seed g
+         ~terminals:q.Engine.terminals ~samples:q.Engine.samples)
+        .Mcsampling.value
+    | _ -> assert false
+  in
+  let scratch =
+    List.map
+      (fun q ->
+        let t0 = Relstats.now_monotonic () in
+        let v = scratch_one q in
+        (v, Relstats.now_monotonic () -. t0))
+      queries
+  in
+  let scratch_dt = List.fold_left (fun acc (_, dt) -> acc +. dt) 0. scratch in
+  List.iter2
+    (fun (_, (a : Engine.answer), _) (v, _) ->
+      if a.Engine.value <> v then
+        failwith
+          (Printf.sprintf
+             "batch: engine answer %.17g diverged from from-scratch %.17g"
+             a.Engine.value v))
+    served scratch;
+  Printf.printf "%-13s %-10s %14s %12s %12s\n" "Method" "Terminals" "R"
+    "engine" "scratch";
+  List.iter2
+    (fun (q, (a : Engine.answer), edt) (_, sdt) ->
+      Printf.printf "%-13s %-10s %14.8f %12s %12s%s\n" a.Engine.method_name
+        (String.concat "," (List.map string_of_int q.Engine.terminals))
+        a.Engine.value
+        (Relstats.format_seconds edt)
+        (Relstats.format_seconds sdt)
+        (if a.Engine.cached then "  (memo hit)" else ""))
+    served scratch;
+  let counters = Engine.counters eng in
+  let c k = List.assoc k counters in
+  Printf.printf
+    "\nengine counters: queries=%d graph hit/miss=%d/%d csr=%d/%d \
+     prep=%d/%d result=%d/%d\n"
+    (c "queries") (c "graph.hit") (c "graph.miss") (c "csr.hit")
+    (c "csr.miss") (c "prep.hit") (c "prep.miss") (c "result.hit")
+    (c "result.miss");
+  if
+    c "queries" <> n || c "graph.miss" <> 1 || c "csr.miss" > 1
+    || c "prep.miss" <> 2
+    || c "result.miss" <> List.length distinct
+    || c "result.hit" <> n - List.length distinct
+  then failwith "batch: cache counters do not prove the amortization";
+  let speedup = scratch_dt /. engine_dt in
+  Printf.printf
+    "total: engine %s vs scratch %s for %d queries -> per-query %s vs %s \
+     (%.1fx)\n"
+    (Relstats.format_seconds engine_dt)
+    (Relstats.format_seconds scratch_dt)
+    n
+    (Relstats.format_seconds (engine_dt /. float_of_int n))
+    (Relstats.format_seconds (scratch_dt /. float_of_int n))
+    speedup;
+  (* The amortization floor: 12 of 16 queries are memo hits, so the
+     engine does a quarter of the work plus cache lookups. The quick
+     (tier-1 smoke) floor is looser to absorb CI noise. *)
+  let floor = if cfg.quick then 2.0 else 3.0 in
+  if speedup < floor then
+    failwith
+      (Printf.sprintf "batch: amortized speedup %.2fx below the %gx floor"
+         speedup floor);
+  if cfg.json then begin
+    let doc_of ~method_name ~seconds ~terminals ~samples ~result ~obs =
+      let run_meta =
+        { SD.command = "bench"; method_ = method_name; graph = d.D.abbr;
+          terminals; seed = cfg.seed; jobs = 1; samples; width = w }
+      in
+      SD.build ~obs ~run:run_meta ~seconds ~result
+    in
+    let engine_docs =
+      List.map
+        (fun (q, (a : Engine.answer), dt) ->
+          doc_of
+            ~method_name:("batch-" ^ a.Engine.method_name)
+            ~seconds:dt ~terminals:q.Engine.terminals
+            ~samples:q.Engine.samples ~result:a.Engine.result ~obs:a.Engine.obs)
+        served
+    in
+    (* One from-scratch document per distinct query, for the latency
+       baseline the committed BENCH file records. *)
+    let scratch_docs =
+      List.map
+        (fun q ->
+          stats_run cfg
+            ~method_name:("scratch-" ^ Engine.method_name q.Engine.method_)
+            ~graph:d.D.abbr ~ts:q.Engine.terminals ~s:q.Engine.samples ~w
+            ~trace:Trace.disabled
+            (fun ~obs ~trace:_ ->
+              let config =
+                { S.default_config with S.samples = q.Engine.samples;
+                  S.width = q.Engine.width; S.seed = q.Engine.seed }
+              in
+              match (q.Engine.method_, q.Engine.ci_width) with
+              | Engine.Pro, None ->
+                SD.result_of_report
+                  (R.estimate ~obs ~config g ~terminals:q.Engine.terminals)
+              | Engine.Pro, Some cw ->
+                adaptive_result_doc
+                  (Adaptive.reliability ~obs ~config ~jobs:1
+                     ?max_samples:q.Engine.max_samples g
+                     ~terminals:q.Engine.terminals ~ci_width:cw)
+              | Engine.Sampling_mc, None ->
+                SD.result_of_estimate
+                  (Mcsampling.monte_carlo ~obs ~seed:q.Engine.seed g
+                     ~terminals:q.Engine.terminals ~samples:q.Engine.samples)
+              | Engine.Sampling_ht, None ->
+                SD.result_of_estimate
+                  (Mcsampling.horvitz_thompson ~obs ~seed:q.Engine.seed g
+                     ~terminals:q.Engine.terminals ~samples:q.Engine.samples)
+              | _ -> assert false))
+        distinct
+    in
+    emit_json cfg ~section:"batch" (engine_docs @ scratch_docs)
+  end
+
 let all_sections =
   [
     ("table2", table2);
@@ -1078,4 +1257,5 @@ let all_sections =
     ("kernels", kernels);
     ("bitsliced", bitsliced);
     ("adaptive", adaptive);
+    ("batch", batch);
   ]

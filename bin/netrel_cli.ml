@@ -101,12 +101,26 @@ let k_arg =
 
 let parse_terminals g ~terminals ~k ~seed =
   match (terminals, k) with
-  | Some s, None -> (
-    try
-      Ok
-        (String.split_on_char ',' s
-        |> List.map (fun x -> int_of_string (String.trim x)))
-    with Failure _ -> Error "could not parse --terminals (expected e.g. 0,5,9)")
+  | Some s, None ->
+    (* Validate here, not deep in the library: out-of-range or duplicate
+       ids otherwise surface as obscure failures several layers down. *)
+    let n = Ugraph.n_vertices g in
+    let rec go acc seen = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+        match int_of_string_opt x with
+        | None ->
+          Error
+            (Printf.sprintf
+               "could not parse --terminals: %S is not a vertex id (expected \
+                e.g. 0,5,9)" x)
+        | Some t when t < 0 || t >= n ->
+          Error (Printf.sprintf "--terminals: vertex %d outside [0,%d)" t n)
+        | Some t when List.mem t seen ->
+          Error (Printf.sprintf "--terminals: duplicate terminal %d" t)
+        | Some t -> go (t :: acc) (t :: seen) rest)
+    in
+    go [] [] (String.split_on_char ',' s |> List.map String.trim)
   | None, Some k -> Ok (Workload.Generators.random_terminals ~seed g ~k)
   | Some _, Some _ -> Error "--terminals and -k are mutually exclusive"
   | None, None -> Error "one of --terminals IDS or -k K is required"
@@ -683,6 +697,195 @@ let reach_cmd =
     Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg $ source
           $ target $ dist $ samples)
 
+(* ---- batch / serve ---- *)
+
+(* One query per line: whitespace-separated key=value tokens.
+     terminals=0,5,9 [method=pro|pro-ht|sampling-mc|sampling-ht]
+     [samples=N] [width=W] [ci-width=X] [max-samples=N] [seed=N]
+     [kernel=flat|bitsliced]
+   Unset keys fall back to the command-line defaults. Blank lines and
+   '#' comments are skipped by both commands. *)
+let parse_query_line g ~defaults line =
+  let fields =
+    String.map (function '\t' -> ' ' | c -> c) (String.trim line)
+    |> String.split_on_char ' '
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go q ~has_terminals = function
+    | [] ->
+      if has_terminals then Ok q
+      else Error "query line is missing terminals=IDS"
+    | tok :: rest -> (
+      match String.index_opt tok '=' with
+      | None ->
+        Error (Printf.sprintf "bad query token %S (expected key=value)" tok)
+      | Some i ->
+        let k = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        let continue q = go q ~has_terminals rest in
+        let int_field f =
+          match int_of_string_opt v with
+          | Some n -> continue (f n)
+          | None -> Error (Printf.sprintf "query key %s: bad integer %S" k v)
+        in
+        (match k with
+        | "terminals" | "t" -> (
+          match parse_terminals g ~terminals:(Some v) ~k:None ~seed:0 with
+          | Ok ts -> go { q with Engine.terminals = ts } ~has_terminals:true rest
+          | Error e -> Error e)
+        | "method" | "m" -> (
+          match Engine.method_of_name v with
+          | Some m -> continue { q with Engine.method_ = m }
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown query method %S (pro, pro-ht, sampling-mc, \
+                  sampling-ht)" v))
+        | "samples" | "s" -> int_field (fun n -> { q with Engine.samples = n })
+        | "width" | "w" -> int_field (fun n -> { q with Engine.width = n })
+        | "max-samples" ->
+          int_field (fun n -> { q with Engine.max_samples = Some n })
+        | "seed" -> int_field (fun n -> { q with Engine.seed = n })
+        | "ci-width" -> (
+          match float_of_string_opt v with
+          | Some w -> continue { q with Engine.ci_width = Some w }
+          | None -> Error (Printf.sprintf "query key ci-width: bad float %S" v))
+        | "kernel" -> (
+          match String.lowercase_ascii v with
+          | "flat" -> continue { q with Engine.kernel = Mcsampling.Flat }
+          | "bitsliced" ->
+            continue { q with Engine.kernel = Mcsampling.Bitsliced }
+          | _ ->
+            Error
+              (Printf.sprintf "unknown kernel %S (flat, bitsliced)" v))
+        | _ -> Error (Printf.sprintf "unknown query key %S" k)))
+  in
+  go defaults ~has_terminals:false fields
+
+let query_doc ~command ~graph_name (q : Engine.query) (a : Engine.answer)
+    ~seconds =
+  let module SD = Netrel.Statsdoc in
+  let run_meta =
+    { SD.command; method_ = a.Engine.method_name; graph = graph_name;
+      terminals = q.Engine.terminals; seed = q.Engine.seed;
+      jobs = Par.effective_jobs q.Engine.jobs; samples = q.Engine.samples;
+      width = q.Engine.width }
+  in
+  SD.build ~obs:a.Engine.obs ~run:run_meta ~seconds ~result:a.Engine.result
+
+let batch_samples_arg =
+  let doc = "Default plain-sampling budget for query lines without \
+             $(b,samples=)." in
+  Arg.(value & opt int 10_000 & info [ "s"; "samples" ] ~docv:"S" ~doc)
+
+let batch_width_arg =
+  let doc = "Default maximum S2BDD layer width for query lines without \
+             $(b,width=)." in
+  Arg.(value & opt int 10_000 & info [ "w"; "width" ] ~docv:"W" ~doc)
+
+let batch_cmd =
+  let file_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"Newline-delimited query file: one \
+                   $(b,terminals=...) $(b,key=value) line per query.")
+  in
+  let run file dataset seed scale jobs kernel samples width qfile =
+    guarded @@ fun () ->
+    check_jobs jobs;
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let obs = Obs.create () in
+    let eng = Engine.create ~obs () in
+    let defaults =
+      { Engine.default with Engine.samples; width; seed; jobs; kernel }
+    in
+    let ic = open_in qfile in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec read acc =
+            match input_line ic with
+            | l -> read (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          read [])
+    in
+    List.iter
+      (fun line ->
+        let t = String.trim line in
+        if t <> "" && t.[0] <> '#' then begin
+          let q = or_die (parse_query_line g ~defaults line) in
+          let t0 = Obs.now obs in
+          let a = Engine.query eng g q in
+          let seconds = Obs.now obs -. t0 in
+          print_endline
+            (Obs.Json.to_string ~pretty:true
+               (query_doc ~command:"batch" ~graph_name:name q a ~seconds))
+        end)
+      lines;
+    (* Closing summary: the cache counters prove the amortization
+       (preprocessing/construction executed once, later queries hit). *)
+    print_endline (Obs.Json.to_string ~pretty:true (Engine.summary_json eng))
+  in
+  let doc = "Answer many reliability queries against one graph through the \
+             amortized engine (one stats document per query, then the \
+             engine cache summary)" in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg
+          $ jobs_arg $ kernel_arg $ batch_samples_arg $ batch_width_arg
+          $ file_pos)
+
+let serve_cmd =
+  let run file dataset seed scale jobs kernel samples width =
+    guarded @@ fun () ->
+    check_jobs jobs;
+    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let obs = Obs.create () in
+    let eng = Engine.create ~obs () in
+    let defaults =
+      { Engine.default with Engine.samples; width; seed; jobs; kernel }
+    in
+    (* Line protocol on stdin/stdout, one compact JSON document per
+       answer; errors keep the server alive. [stats] emits the engine
+       cache summary, [quit] (or EOF) ends the session. *)
+    let respond doc = print_endline (Obs.Json.to_string ~pretty:false doc) in
+    let rec loop () =
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line ->
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then loop ()
+        else if t = "quit" || t = "exit" then ()
+        else if t = "stats" then begin
+          respond (Engine.summary_json eng);
+          loop ()
+        end
+        else begin
+          (match parse_query_line g ~defaults line with
+          | Error msg -> respond (Obs.Json.Obj [ ("error", Obs.Json.Str msg) ])
+          | Ok q -> (
+            match
+              let t0 = Obs.now obs in
+              let a = Engine.query eng g q in
+              (a, Obs.now obs -. t0)
+            with
+            | a, seconds ->
+              respond (query_doc ~command:"serve" ~graph_name:name q a ~seconds)
+            | exception (Invalid_argument msg | Failure msg) ->
+              respond (Obs.Json.Obj [ ("error", Obs.Json.Str msg) ])));
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let doc = "Serve reliability queries over a line protocol on \
+             stdin/stdout, amortizing preprocessing and construction \
+             across queries" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ graph_file $ dataset_arg $ seed_arg $ scale_arg
+          $ jobs_arg $ kernel_arg $ batch_samples_arg $ batch_width_arg)
+
 (* ---- benchdiff ---- *)
 
 let benchdiff_cmd =
@@ -751,4 +954,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; bounds_cmd;
-            search_cmd; reach_cmd; selfcheck_cmd; benchdiff_cmd ]))
+            search_cmd; reach_cmd; selfcheck_cmd; batch_cmd; serve_cmd;
+            benchdiff_cmd ]))

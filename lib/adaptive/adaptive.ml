@@ -187,14 +187,14 @@ let sampler_loop ~ao ~trace ~ci_width ~max_samples ~draw ~samples ~hits
     }
 
 let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?seed ?jobs
-    ?kernel ?(max_samples = default_max_samples) g ~terminals ~ci_width =
+    ?kernel ?csr ?(max_samples = default_max_samples) g ~terminals ~ci_width =
   validate ~ci_width ~max_samples;
   Ugraph.validate_terminals g terminals;
   let ao = Obs.sub obs "adaptive" in
   if List.length terminals < 2 then
     emit_result trace (finish_obs ao (trivial ~target_width:ci_width 1.))
   else begin
-    let t = MC.mc_create ~obs ~trace ?seed ?jobs ?kernel g ~terminals in
+    let t = MC.mc_create ~obs ~trace ?seed ?jobs ?kernel ?csr g ~terminals in
     emit_result trace
       (sampler_loop ~ao ~trace ~ci_width ~max_samples
          ~draw:(fun n -> MC.mc_draw t ~samples:n)
@@ -204,15 +204,15 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?seed ?jobs
   end
 
 let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?seed
-    ?jobs ?kernel ?(max_samples = default_max_samples) g ~terminals ~ci_width
-    =
+    ?jobs ?kernel ?csr ?(max_samples = default_max_samples) g ~terminals
+    ~ci_width =
   validate ~ci_width ~max_samples;
   Ugraph.validate_terminals g terminals;
   let ao = Obs.sub obs "adaptive" in
   if List.length terminals < 2 then
     emit_result trace (finish_obs ao (trivial ~target_width:ci_width 1.))
   else begin
-    let t = MC.ht_create ~obs ~trace ?seed ?jobs ?kernel g ~terminals in
+    let t = MC.ht_create ~obs ~trace ?seed ?jobs ?kernel ?csr g ~terminals in
     (* The HT planner reads hits as round(value * samples): the HT value
        is a weighted sum, not a count, but the planner only needs a
        smoothed variance proxy. *)
@@ -439,8 +439,8 @@ let combine_outcomes ~target_width ~pb outcomes =
   }
 
 let reliability ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1)
-    ?(max_samples = default_max_samples) g ~terminals ~ci_width =
+    ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) ?prep
+    ?orders ?(max_samples = default_max_samples) g ~terminals ~ci_width =
   validate ~ci_width ~max_samples;
   if jobs < 1 then invalid_arg "Adaptive.reliability: jobs < 1";
   let ejobs = Par.effective_jobs jobs in
@@ -454,7 +454,15 @@ let reliability ?(obs = Obs.disabled) ?(trace = Trace.disabled)
   in
   let result =
     if extension then begin
-      match P.run ~obs ~trace g ~terminals with
+      (* As in {!Reliability.estimate}: [prep] replays a cached pipeline
+         outcome for the same (graph, terminals); the rounds that follow
+         are a pure function of the outcome, config and seed. *)
+      let outcome =
+        match prep with
+        | Some o -> o
+        | None -> P.run ~obs ~trace g ~terminals
+      in
+      match outcome with
       | P.Trivial r ->
         finish_obs ao (trivial ~target_width:ci_width (Xprob.to_float_exn r))
       | P.Reduced { pb; subproblems; stats = _ } ->
@@ -480,6 +488,11 @@ let reliability ?(obs = Obs.disabled) ?(trace = Trace.disabled)
           Array.mapi
             (fun i (sp : P.subproblem) ->
               let cfg = { config with S2bdd.seed = seeds.(i) } in
+              let cfg =
+                match orders with
+                | Some os -> { cfg with S2bdd.order = `Explicit os.(i) }
+                | None -> cfg
+              in
               run_sub ~sub:i ~obs ~trace ~width ~cap cfg sp.P.graph
                 sp.P.terminals)
             sub_arr

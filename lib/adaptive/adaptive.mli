@@ -67,7 +67,7 @@ val default_max_samples : int
 
 val monte_carlo :
   ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-  ?kernel:Mcsampling.kernel_mode -> ?max_samples:int ->
+  ?kernel:Mcsampling.kernel_mode -> ?csr:Kernel.Csr.t -> ?max_samples:int ->
   Ugraph.t -> terminals:int list -> ci_width:float -> result
 (** Adaptive plain Monte Carlo over {!Mcsampling.Chunked}. Round sizes
     start at one {!Mcsampling.chunk_target} chunk and then track the
@@ -77,7 +77,7 @@ val monte_carlo :
 
 val horvitz_thompson :
   ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-  ?kernel:Mcsampling.kernel_mode -> ?max_samples:int ->
+  ?kernel:Mcsampling.kernel_mode -> ?csr:Kernel.Csr.t -> ?max_samples:int ->
   Ugraph.t -> terminals:int list -> ci_width:float -> result
 (** Adaptive Horvitz–Thompson. The interval prices [samples_used] as
     binomial trials at the (clamped) HT value — conservative for HT,
@@ -86,7 +86,8 @@ val horvitz_thompson :
 
 val reliability :
   ?obs:Obs.t -> ?trace:Trace.t -> ?config:S2bdd.config ->
-  ?extension:bool -> ?jobs:int -> ?max_samples:int ->
+  ?extension:bool -> ?jobs:int -> ?prep:Preprocess.Pipeline.outcome ->
+  ?orders:int array array -> ?max_samples:int ->
   Ugraph.t -> terminals:int list -> ci_width:float -> result
 (** The full pipeline (Algorithm 1) under sequential stopping: the
     preprocess extension splits the problem, each subproblem runs
@@ -109,5 +110,10 @@ val reliability :
 
     Strata within a round draw concurrently on the shared pool when
     [jobs > 1]; per-stratum streams make the result bit-identical at
-    every [jobs] value. @raise Invalid_argument as {!monte_carlo} plus
+    every [jobs] value.
+
+    [prep] and [orders] replay a cached preprocessing outcome and its
+    per-subproblem edge orderings for the same [(g, terminals)] (see
+    {!Reliability.estimate}); the result is bit-identical to
+    recomputing them. @raise Invalid_argument as {!monte_carlo} plus
     [jobs < 1]. *)

@@ -4,10 +4,10 @@ type clustering = {
   reliability : float array;
 }
 
-let cluster ?(seed = 1) ?(samples = 500) g ~k =
+let cluster ?engine ?(seed = 1) ?(samples = 500) g ~k =
   let n = Ugraph.n_vertices g in
   if k < 1 || k > n then invalid_arg "Clustering.cluster: k out of range";
-  let set = Sampleset.draw ~seed g ~samples in
+  let set = Sampleset.shared ?engine ~seed g ~samples in
   let s = float_of_int samples in
   (* best_rel.(v): max estimated reliability from v to any chosen
      center; best_center.(v): index of that center. *)

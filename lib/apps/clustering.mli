@@ -19,6 +19,7 @@ type clustering = {
 }
 
 val cluster :
+  ?engine:Engine.t ->
   ?seed:int ->
   ?samples:int ->
   Ugraph.t ->
@@ -26,7 +27,9 @@ val cluster :
   clustering
 (** [cluster g ~k] picks [k] centers farthest-first under the
     unreliability distance, starting from the highest-degree vertex.
-    [samples] defaults to 500.
+    [samples] defaults to 500. [engine] shares the sample set across
+    analyses over the same graph ({!Sampleset.shared}) — results are
+    identical with or without it.
     @raise Invalid_argument unless [1 <= k <= n_vertices]. *)
 
 val average_inner_reliability : clustering -> float

@@ -58,13 +58,14 @@ let support set ~removed seeds =
   done;
   counts
 
-let discover ?(seed = 1) ?(samples = 500) ?max_rounds g ~seeds ~threshold =
+let discover ?engine ?(seed = 1) ?(samples = 500) ?max_rounds g ~seeds
+    ~threshold =
   Ugraph.validate_terminals g seeds;
   if threshold < 0. || threshold > 1. then
     invalid_arg "Reliable_subgraph.discover: threshold outside [0,1]";
   let n = Ugraph.n_vertices g in
   let max_rounds = Option.value ~default:n max_rounds in
-  let set = Sampleset.draw ~seed g ~samples in
+  let set = Sampleset.shared ?engine ~seed g ~samples in
   let s = float_of_int samples in
   let removed = Array.make n false in
   let is_seed = Array.make n false in

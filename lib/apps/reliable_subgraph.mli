@@ -18,6 +18,7 @@ type result = {
 }
 
 val discover :
+  ?engine:Engine.t ->
   ?seed:int ->
   ?samples:int ->
   ?max_rounds:int ->
@@ -26,6 +27,8 @@ val discover :
   threshold:float ->
   result
 (** [samples] defaults to 500; [max_rounds] (vertex removals attempted,
-    default [n_vertices]) bounds the work.
+    default [n_vertices]) bounds the work. [engine] shares the sample
+    set across analyses over the same graph ({!Sampleset.shared}) —
+    results are identical with or without it.
     @raise Invalid_argument on invalid seeds or threshold outside
     [[0, 1]]. *)

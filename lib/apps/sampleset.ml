@@ -111,3 +111,19 @@ let pairwise_counts t vertices =
     done
   done;
   !out
+
+(* Engine-backed sharing: the sample set is a pure function of
+   (graph, seed, samples), so serving it from the engine's per-graph
+   artifact cache is answer-preserving — analyses issued through the
+   same engine reuse one draw instead of resampling per call. The
+   private exception is the untyped slot the engine stores. *)
+exception Slot of t
+
+let shared ?engine ?(seed = 1) g ~samples =
+  match engine with
+  | None -> draw ~seed g ~samples
+  | Some e -> (
+    let key = Printf.sprintf "sampleset:seed=%d;samples=%d" seed samples in
+    match Engine.artifact e g ~key ~build:(fun () -> Slot (draw ~seed g ~samples)) with
+    | Slot s -> s
+    | _ -> assert false)

@@ -32,3 +32,11 @@ val pairwise_counts : t -> int list -> (int * int * int) list
 (** For every unordered pair of the given vertices: [(u, v, count)]
     with [count] the samples connecting them. One union–find pass per
     sample. *)
+
+val shared : ?engine:Engine.t -> ?seed:int -> Ugraph.t -> samples:int -> t
+(** [shared ?engine ~seed g ~samples] is {!draw}, served through
+    [engine]'s per-graph artifact cache when one is given: the first
+    call draws, later calls with the same (graph, seed, samples) reuse
+    the stored set (engine counter [artifact.hit]). Identical to
+    {!draw} in every observable way — the set is a pure function of its
+    inputs. *)

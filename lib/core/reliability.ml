@@ -87,13 +87,23 @@ let emit_report trace (rep : report) =
   rep
 
 let estimate ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) g
-    ~terminals =
+    ?(config = S2bdd.default_config) ?(extension = true) ?(jobs = 1) ?prep
+    ?orders g ~terminals =
   if jobs < 1 then invalid_arg "Reliability.estimate: jobs < 1";
   let ejobs = Par.effective_jobs jobs in
   let pool = if ejobs > 1 then Some (Par.Pool.shared ~jobs:ejobs) else None in
   if extension then begin
-    match P.run ~obs ~trace g ~terminals with
+    (* [prep] short-circuits the pipeline with a previously computed
+       outcome for the same (graph, terminals): the engine caches it
+       across queries. Everything downstream — seed splitting, ordering,
+       sampling — is a pure function of the outcome and [config], so a
+       cached outcome yields the bit-identical report. *)
+    let outcome =
+      match prep with
+      | Some o -> o
+      | None -> P.run ~obs ~trace g ~terminals
+    in
+    match outcome with
     | P.Trivial r ->
       emit_report trace (trivial_report config (Xprob.to_float_exn r))
     | P.Reduced { pb; subproblems; stats } ->
@@ -120,6 +130,15 @@ let estimate ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         Par.run ?pool (Array.length sub_arr) (fun i ->
             let sp = sub_arr.(i) in
             let sub_cfg = { config with S2bdd.seed = seeds.(i) } in
+            (* A cached per-subproblem ordering (the engine computes the
+               same [`Auto] BFS order once per (graph, terminals)) slots
+               in as [`Explicit]; an equal array yields the identical
+               construction. *)
+            let sub_cfg =
+              match orders with
+              | Some os -> { sub_cfg with S2bdd.order = `Explicit os.(i) }
+              | None -> sub_cfg
+            in
             Trace.span sub_trace.(i) "subproblem"
               ~args:
                 [

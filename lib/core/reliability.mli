@@ -33,6 +33,8 @@ val estimate :
   ?config:S2bdd.config ->
   ?extension:bool ->
   ?jobs:int ->
+  ?prep:Preprocess.Pipeline.outcome ->
+  ?orders:int array array ->
   Ugraph.t ->
   terminals:int list ->
   report
@@ -65,6 +67,19 @@ val estimate :
     run on the same pool (see {!S2bdd.estimate}). Per-subproblem seeds
     are assigned before execution and results fold in subproblem
     order, so {b the report is bit-identical at every [jobs] value}.
+
+    [prep] supplies a previously computed {!Preprocess.Pipeline.run}
+    outcome for the same [(g, terminals)] pair, skipping the pipeline
+    (meaningful only with [extension = true]). Everything downstream is
+    a pure function of the outcome and [config], so the report is
+    bit-identical to recomputing it — {!Engine}'s artifact cache relies
+    on this.
+
+    [orders] supplies one explicit edge ordering per decomposed
+    subproblem (in subproblem order, matching [prep]); each must equal
+    what [config.order] would have computed for that subproblem, which
+    makes the construction bit-identical while skipping the ordering
+    pass. Only meaningful together with [prep].
     @raise Invalid_argument if [jobs < 1]. *)
 
 val exact :

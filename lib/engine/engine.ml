@@ -1,0 +1,288 @@
+module P = Preprocess.Pipeline
+module S = Netrel.S2bdd
+module R = Netrel.Reliability
+module SD = Netrel.Statsdoc
+module O = Graphalgo.Ordering
+module J = Obs.Json
+
+type method_ = Pro | Pro_ht | Sampling_mc | Sampling_ht
+
+let method_name = function
+  | Pro -> "pro"
+  | Pro_ht -> "pro-ht"
+  | Sampling_mc -> "sampling-mc"
+  | Sampling_ht -> "sampling-ht"
+
+let method_of_name s =
+  match String.lowercase_ascii s with
+  | "pro" -> Some Pro
+  | "pro-ht" -> Some Pro_ht
+  | "sampling-mc" | "mc" -> Some Sampling_mc
+  | "sampling-ht" | "ht" -> Some Sampling_ht
+  | _ -> None
+
+type query = {
+  terminals : int list;
+  method_ : method_;
+  samples : int;
+  width : int;
+  ci_width : float option;
+  max_samples : int option;
+  seed : int;
+  jobs : int;
+  kernel : Mcsampling.kernel_mode;
+}
+
+let default =
+  {
+    terminals = [];
+    method_ = Pro;
+    samples = 10_000;
+    width = 10_000;
+    ci_width = None;
+    max_samples = None;
+    seed = 1;
+    jobs = 1;
+    kernel = Mcsampling.Flat;
+  }
+
+type answer = {
+  method_name : string;
+  result : J.t;
+  value : float;
+  exact : bool;
+  cached : bool;
+  obs : Obs.t;
+}
+
+(* A preprocessing outcome plus everything derived from it that later
+   queries replay: the per-subproblem BFS edge orderings (what [`Auto]
+   would recompute) and the observer that recorded the pipeline's phase
+   account, merged into every consumer query's observer so cached and
+   fresh documents carry the same preprocess section. *)
+type prep_entry = {
+  outcome : P.outcome;
+  orders : int array array;
+  pobs : Obs.t;
+}
+
+type ctx = {
+  graph : Ugraph.t;
+  mutable csr : Kernel.Csr.t option;
+  preps : (string, prep_entry) Hashtbl.t;
+  memo : (string, answer) Hashtbl.t;
+  slots : (string, exn) Hashtbl.t;
+}
+
+type t = {
+  obs : Obs.t;
+  eo : Obs.t; (* Obs.sub obs "engine": the cache counters *)
+  ctxs : (int, ctx) Hashtbl.t;
+}
+
+let create ?(obs = Obs.disabled) () =
+  { obs; eo = Obs.sub obs "engine"; ctxs = Hashtbl.create 4 }
+
+let obs t = t.obs
+
+(* ---- graph digest ---- *)
+
+let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+
+let digest g =
+  (* Chained splitmix64 over the graph content: vertex count, then the
+     exact (u, v, p) bit patterns in edge order. Edge order is part of
+     the identity on purpose — every downstream artifact (Csr layout,
+     orderings, seed consumption) depends on it. *)
+  let acc = ref (Hash64.mix64 (Int64.of_int (Ugraph.n_vertices g))) in
+  let fold w = acc := Hash64.mix64 (Int64.add (Int64.mul !acc 0x9E3779B97F4A7C15L) w) in
+  Ugraph.iter_edges
+    (fun _ (e : Ugraph.edge) ->
+      fold (Int64.of_int e.Ugraph.u);
+      fold (Int64.of_int e.Ugraph.v);
+      fold (Int64.bits_of_float e.Ugraph.p))
+    g;
+  Int64.to_int (Int64.logand !acc mask62)
+
+let context t g =
+  let d = digest g in
+  match Hashtbl.find_opt t.ctxs d with
+  | Some ctx ->
+    Obs.incr t.eo "graph.hit";
+    ctx
+  | None ->
+    Obs.incr t.eo "graph.miss";
+    let ctx =
+      { graph = g; csr = None; preps = Hashtbl.create 8;
+        memo = Hashtbl.create 16; slots = Hashtbl.create 4 }
+    in
+    Hashtbl.replace t.ctxs d ctx;
+    ctx
+
+let csr t ctx =
+  match ctx.csr with
+  | Some c ->
+    Obs.incr t.eo "csr.hit";
+    c
+  | None ->
+    Obs.incr t.eo "csr.miss";
+    let c = Kernel.Csr.of_graph ctx.graph in
+    ctx.csr <- Some c;
+    c
+
+let terminals_key ts = String.concat "," (List.map string_of_int ts)
+
+let prep t ctx ~terminals =
+  let key = terminals_key terminals in
+  match Hashtbl.find_opt ctx.preps key with
+  | Some pe ->
+    Obs.incr t.eo "prep.hit";
+    pe
+  | None ->
+    Obs.incr t.eo "prep.miss";
+    let pobs = Obs.fresh_like t.obs in
+    let outcome = P.run ~obs:pobs ctx.graph ~terminals in
+    let orders =
+      match outcome with
+      | P.Trivial _ -> [||]
+      | P.Reduced { subproblems; _ } ->
+        subproblems
+        |> List.map (fun (sp : P.subproblem) ->
+               O.order_edges (O.Bfs_from sp.P.terminals) sp.P.graph)
+        |> Array.of_list
+    in
+    let pe = { outcome; orders; pobs } in
+    Hashtbl.replace ctx.preps key pe;
+    pe
+
+(* ---- queries ---- *)
+
+let memo_key q =
+  Printf.sprintf "t=%s;m=%s;s=%d;w=%d;cw=%s;ms=%s;seed=%d;jobs=%d;k=%s"
+    (terminals_key q.terminals) (method_name q.method_) q.samples q.width
+    (match q.ci_width with None -> "-" | Some w -> Printf.sprintf "%.17g" w)
+    (match q.max_samples with None -> "-" | Some n -> string_of_int n)
+    q.seed q.jobs
+    (match q.kernel with Mcsampling.Flat -> "flat" | Mcsampling.Bitsliced -> "bitsliced")
+
+(* Mirror of the CLI's method dispatch ([run_estimate_stats]): same
+   estimator entry points, same configs, same Statsdoc result shapes —
+   with the cached Csr / prep / orders slotted into the pure-reuse
+   parameters, so answers stay bit-identical to the from-scratch path. *)
+let dispatch t ctx qobs q =
+  let estimator ht = if ht then S.Horvitz_thompson else S.Monte_carlo in
+  let adaptive_doc (r : Adaptive.result) =
+    SD.result_of_adaptive ~value:r.Adaptive.value ~lower:r.Adaptive.lower
+      ~upper:r.Adaptive.upper ~exact:r.Adaptive.exact
+      ~ci_width:r.Adaptive.ci_width ~target_width:r.Adaptive.target_width
+      ~samples_used:r.Adaptive.samples_used
+      ~samples_planned:r.Adaptive.samples_planned ~rounds:r.Adaptive.rounds
+      ~stop:(Adaptive.stop_name r.Adaptive.stop)
+  in
+  let g = ctx.graph in
+  let ts = q.terminals in
+  match (q.method_, q.ci_width) with
+  | (Pro | Pro_ht), Some w ->
+    let config =
+      { S.default_config with S.samples = q.samples; S.width = q.width;
+        S.estimator = estimator (q.method_ = Pro_ht); S.seed = q.seed }
+    in
+    let pe = prep t ctx ~terminals:ts in
+    Obs.merge ~into:qobs pe.pobs;
+    let r =
+      Adaptive.reliability ~obs:qobs ~config ~jobs:q.jobs ~prep:pe.outcome
+        ~orders:pe.orders ?max_samples:q.max_samples g ~terminals:ts
+        ~ci_width:w
+    in
+    (method_name q.method_, adaptive_doc r, r.Adaptive.value, r.Adaptive.exact)
+  | (Pro | Pro_ht), None ->
+    let config =
+      { S.default_config with S.samples = q.samples; S.width = q.width;
+        S.estimator = estimator (q.method_ = Pro_ht); S.seed = q.seed }
+    in
+    let pe = prep t ctx ~terminals:ts in
+    Obs.merge ~into:qobs pe.pobs;
+    let rep =
+      R.estimate ~obs:qobs ~config ~jobs:q.jobs ~prep:pe.outcome
+        ~orders:pe.orders g ~terminals:ts
+    in
+    (method_name q.method_, SD.result_of_report rep, rep.R.value, rep.R.exact)
+  | Sampling_mc, Some w ->
+    let r =
+      Adaptive.monte_carlo ~obs:qobs ~seed:q.seed ~jobs:q.jobs
+        ~kernel:q.kernel ~csr:(csr t ctx) ?max_samples:q.max_samples g
+        ~terminals:ts ~ci_width:w
+    in
+    ("sampling-mc", adaptive_doc r, r.Adaptive.value, r.Adaptive.exact)
+  | Sampling_ht, Some w ->
+    let r =
+      Adaptive.horvitz_thompson ~obs:qobs ~seed:q.seed ~jobs:q.jobs
+        ~kernel:q.kernel ~csr:(csr t ctx) ?max_samples:q.max_samples g
+        ~terminals:ts ~ci_width:w
+    in
+    ("sampling-ht", adaptive_doc r, r.Adaptive.value, r.Adaptive.exact)
+  | Sampling_mc, None ->
+    let e =
+      Mcsampling.monte_carlo ~obs:qobs ~seed:q.seed ~jobs:q.jobs
+        ~kernel:q.kernel ~csr:(csr t ctx) g ~terminals:ts ~samples:q.samples
+    in
+    ("sampling-mc", SD.result_of_estimate e, e.Mcsampling.value, false)
+  | Sampling_ht, None ->
+    let e =
+      Mcsampling.horvitz_thompson ~obs:qobs ~seed:q.seed ~jobs:q.jobs
+        ~kernel:q.kernel ~csr:(csr t ctx) g ~terminals:ts ~samples:q.samples
+    in
+    ("sampling-ht", SD.result_of_estimate e, e.Mcsampling.value, false)
+
+let query t g q =
+  let ctx = context t g in
+  Obs.incr t.eo "queries";
+  let key = memo_key q in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some a ->
+    Obs.incr t.eo "result.hit";
+    { a with cached = true }
+  | None ->
+    Obs.incr t.eo "result.miss";
+    if q.jobs < 1 then invalid_arg "Engine.query: jobs < 1";
+    Ugraph.validate_terminals g q.terminals;
+    let qobs = Obs.fresh_like t.obs in
+    let method_name, result, value, exact =
+      Obs.gc_phase qobs "gc" @@ fun () -> dispatch t ctx qobs q
+    in
+    let a = { method_name; result; value; exact; cached = false; obs = qobs } in
+    Hashtbl.replace ctx.memo key a;
+    a
+
+(* ---- counters / summary ---- *)
+
+let counter_names =
+  [
+    "queries"; "graph.hit"; "graph.miss"; "csr.hit"; "csr.miss"; "prep.hit";
+    "prep.miss"; "result.hit"; "result.miss"; "artifact.hit"; "artifact.miss";
+  ]
+
+let counters t =
+  List.map
+    (fun k ->
+      let full = "engine." ^ k in
+      (k, if Obs.mem t.obs full then Obs.counter_value t.obs full else 0))
+    counter_names
+
+let summary_json t =
+  J.Obj
+    [ ("engine", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (counters t))) ]
+
+(* ---- client artifact slots ---- *)
+
+let artifact t g ~key ~build =
+  let ctx = context t g in
+  match Hashtbl.find_opt ctx.slots key with
+  | Some e ->
+    Obs.incr t.eo "artifact.hit";
+    e
+  | None ->
+    Obs.incr t.eo "artifact.miss";
+    let e = build () in
+    Hashtbl.replace ctx.slots key e;
+    e

@@ -186,8 +186,11 @@ let mc_chunk_bitsliced ?depth csr term_arr rng len =
   done;
   !hits
 
+(* [?csr] lets a caller holding a prebuilt snapshot (the engine's
+   per-graph cache) skip reconstruction. The Csr is a pure function of
+   [g], so a cached snapshot cannot change any estimate. *)
 let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
-    ?(jobs = 1) ?(kernel = Flat) g ~terminals ~samples =
+    ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "mc";
@@ -198,7 +201,9 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
   end
   else
     Obs.time o "total" @@ fun () ->
-    let csr = Kernel.Csr.of_graph g in
+    let csr =
+      match csr with Some c -> c | None -> Kernel.Csr.of_graph g
+    in
     let term_arr = Array.of_list terminals in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
@@ -305,7 +310,7 @@ let ht_chunk_bitsliced ?depth csr term_arr rng len =
   (seen, order, !n_order)
 
 let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) g ~terminals ~samples =
+    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
   validate g ~terminals ~samples ~jobs;
   let o = Obs.sub obs "sampling" in
   Obs.text o "estimator" "ht";
@@ -316,7 +321,9 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
   end
   else
     Obs.time o "total" @@ fun () ->
-    let csr = Kernel.Csr.of_graph g in
+    let csr =
+      match csr with Some c -> c | None -> Kernel.Csr.of_graph g
+    in
     let term_arr = Array.of_list terminals in
     let chunks = Par.chunks ~total:samples ~target:chunk_target in
     let rngs = chunk_streams ~seed (Array.length chunks) in
@@ -613,10 +620,10 @@ module Chunked = struct
     o
 
   let mc_create ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
-      ?(jobs = 1) ?(kernel = Flat) g ~terminals =
+      ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals =
     let o = create_common ~obs ~kernel ~estimator:"mc" g ~terminals ~jobs in
     {
-      mc_csr = Kernel.Csr.of_graph g;
+      mc_csr = (match csr with Some c -> c | None -> Kernel.Csr.of_graph g);
       mc_terms = Array.of_list terminals;
       mc_kernel = kernel;
       mc_master = Prng.create seed;
@@ -730,10 +737,10 @@ module Chunked = struct
   }
 
   let ht_create ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
-      ?(jobs = 1) ?(kernel = Flat) g ~terminals =
+      ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals =
     let o = create_common ~obs ~kernel ~estimator:"ht" g ~terminals ~jobs in
     {
-      ht_csr = Kernel.Csr.of_graph g;
+      ht_csr = (match csr with Some c -> c | None -> Kernel.Csr.of_graph g);
       ht_terms = Array.of_list terminals;
       ht_kernel = kernel;
       ht_master = Prng.create seed;

@@ -121,19 +121,22 @@ val ht_weight : logq:float -> n:int -> float
 
 val monte_carlo :
   ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-  ?kernel:kernel_mode -> Ugraph.t ->
+  ?kernel:kernel_mode -> ?csr:Kernel.Csr.t -> Ugraph.t ->
   terminals:int list -> samples:int -> estimate
 (** Plain Monte Carlo: [R^ = (1/s) * sum_i I(Gp_i, T)]. [jobs]
     (default 1) sets the domain count; see the determinism contract
     above. [kernel] (default {!Flat}) selects the draw kernel; the
     chosen mode is recorded in the [sampling.kernel.mode] Obs text.
-    MC draws with replacement and never deduplicates, so
-    [distinct = 0] (not measured). @raise Invalid_argument on invalid
-    terminals, [samples <= 0], or [jobs <= 0]. *)
+    [csr] supplies a prebuilt {!Kernel.Csr.t} snapshot of [g] (the
+    engine's per-graph cache); the Csr is a pure function of the graph,
+    so passing one never changes the estimate. MC draws with
+    replacement and never deduplicates, so [distinct = 0] (not
+    measured). @raise Invalid_argument on invalid terminals,
+    [samples <= 0], or [jobs <= 0]. *)
 
 val horvitz_thompson :
   ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-  ?kernel:kernel_mode -> Ugraph.t ->
+  ?kernel:kernel_mode -> ?csr:Kernel.Csr.t -> Ugraph.t ->
   terminals:int list -> samples:int -> estimate
 (** Horvitz–Thompson over the distinct sampled possible graphs:
     [R^ = sum_i I * Pr[Gp_i] / pi_i] with
@@ -200,7 +203,8 @@ module Chunked : sig
 
   val mc_create :
     ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-    ?kernel:kernel_mode -> Ugraph.t -> terminals:int list -> mc
+    ?kernel:kernel_mode -> ?csr:Kernel.Csr.t -> Ugraph.t ->
+    terminals:int list -> mc
 
   val mc_draw : mc -> samples:int -> unit
   (** Draw one round of [samples] more samples (split into
@@ -216,7 +220,8 @@ module Chunked : sig
 
   val ht_create :
     ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
-    ?kernel:kernel_mode -> Ugraph.t -> terminals:int list -> ht
+    ?kernel:kernel_mode -> ?csr:Kernel.Csr.t -> Ugraph.t ->
+    terminals:int list -> ht
 
   val ht_draw : ht -> samples:int -> unit
 

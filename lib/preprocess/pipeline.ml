@@ -60,18 +60,28 @@ let decompose pruned terminals =
     let r = Dsu.find dsu v in
     Hashtbl.replace members r (v :: (Option.value ~default:[] (Hashtbl.find_opt members r)))
   done;
+  (* Emit subproblems in canonical order (ascending min vertex id of the
+     component) rather than [Hashtbl.fold] bucket order: Prng stream
+     assignment, stats and trace output are then stable by construction,
+     and cached pipeline outcomes are reproducible. Each member list was
+     built by consing from [n-1] down, so its head is the component
+     minimum. *)
+  let comps =
+    Hashtbl.fold (fun _root vs acc -> vs :: acc) members []
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  in
   let subs =
-    Hashtbl.fold
-      (fun _root vs acc ->
+    List.filter_map
+      (fun vs ->
         let ts = List.filter (fun v -> must_connect.(v)) vs in
-        if List.length ts < 2 then acc
+        if List.length ts < 2 then None
         else begin
           let vs_arr = Array.of_list vs in
           let sub, old_of_new = Ugraph.induced pruned vs_arr in
           let ts = Ugraph.relabel_terminals ~old_of_new ts in
-          { graph = sub; terminals = ts } :: acc
+          Some { graph = sub; terminals = ts }
         end)
-      members []
+      comps
   in
   (!pb, !n_bridges, subs)
 

@@ -26,17 +26,26 @@ let round n is_terminal edges =
   (* Stage 2: merge parallel edges; a single edge survives per vertex
      pair with failure probabilities multiplied. *)
   let pair_fail = Hashtbl.create (List.length edges) in
+  (* [order] keeps first-occurrence key order: rebuilding the surviving
+     edges from a [Hashtbl.fold] would emit them in hash-bucket order,
+     making downstream edge orderings (and any digest over them) depend
+     on [Hashtbl] internals rather than the input. *)
+  let order = ref [] in
   List.iter
     (fun (u, v, p) ->
       let key = if u < v then (u, v) else (v, u) in
       match Hashtbl.find_opt pair_fail key with
-      | None -> Hashtbl.add pair_fail key (1. -. p)
+      | None ->
+        order := key :: !order;
+        Hashtbl.add pair_fail key (1. -. p)
       | Some q ->
         changed := true;
         Hashtbl.replace pair_fail key (q *. (1. -. p)))
     edges;
   let edges =
-    Hashtbl.fold (fun (u, v) q acc -> (u, v, 1. -. q) :: acc) pair_fail []
+    List.rev_map
+      (fun (u, v) -> (u, v, 1. -. Hashtbl.find pair_fail (u, v)))
+      !order
   in
   (* Stage 3: contract chains through degree-2 non-terminal vertices. *)
   let edge_arr = Array.of_list edges in

@@ -176,14 +176,36 @@ let parse_lines lines =
       try int_of_string (String.trim header)
       with Failure _ -> invalid_arg "Ugraph.of_channel: bad vertex count line"
     in
+    (* SNAP/KONECT exports are tab-separated; accept any run of blanks
+       (and a stray CR from DOS line endings) between fields. *)
+    let fields line =
+      String.map (function '\t' | '\r' -> ' ' | c -> c) line
+      |> String.split_on_char ' '
+      |> List.filter (fun s -> s <> "")
+    in
     let parse_edge line =
-      match String.split_on_char ' ' (String.trim line)
-            |> List.filter (fun s -> s <> "")
-      with
-      | [ us; vs; ps ] -> (
-        try { u = int_of_string us; v = int_of_string vs; p = float_of_string ps }
-        with Failure _ -> invalid_arg ("Ugraph.of_channel: bad edge line: " ^ line))
-      | _ -> invalid_arg ("Ugraph.of_channel: bad edge line: " ^ line)
+      let bad why =
+        invalid_arg
+          (Printf.sprintf "Ugraph.of_channel: %s in edge line %S" why
+             (String.trim line))
+      in
+      match fields line with
+      | [ us; vs; ps ] ->
+        let vertex s =
+          match int_of_string_opt s with
+          | Some x when x >= 0 && x < n -> x
+          | Some x -> bad (Printf.sprintf "vertex id %d outside [0,%d)" x n)
+          | None -> bad (Printf.sprintf "unreadable vertex id %S" s)
+        in
+        let u = vertex us and v = vertex vs in
+        let p =
+          match float_of_string_opt ps with
+          | Some p when (not (Float.is_nan p)) && p >= 0. && p <= 1. -> p
+          | Some p -> bad (Printf.sprintf "probability %g outside [0,1]" p)
+          | None -> bad (Printf.sprintf "unreadable probability %S" ps)
+        in
+        { u; v; p }
+      | _ -> bad "expected three fields `u v p`"
     in
     create ~n (List.map parse_edge rest)
 

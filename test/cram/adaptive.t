@@ -28,8 +28,8 @@ the proven construction bounds already confine the answer:
   >   --width 64 --ci-width 0.02 --jobs 1 | grep -v time
   graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
   terminals: [0, 33]
-  R = 0.9991538423
-  ci95 = [0.997809119, 0.9996698808]  (width 0.001861, target 0.02)
+  R = 0.9998433689
+  ci95 = [0.9989405176, 0.9999768658]  (width 0.001036, target 0.02)
   adaptive: 4096 samples in 1 rounds, stop = width-reached
 
 --jobs is placement-only: apart from the run.jobs metadata line, the

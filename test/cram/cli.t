@@ -57,9 +57,9 @@ jobs 1 and jobs 4 prints byte-identical reports (timing filtered):
   $ cat jobs1.out
   graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534
   terminals: [0, 33]
-  R = 0.9991983603
-  bounds = [0.1136379004, 1]
-  budget: s = 3000 -> s' = 2659, 2648 descents drawn
+  R = 0.9983328846
+  bounds = [0.1786016612, 1]
+  budget: s = 3000 -> s' = 2464, 2402 descents drawn
   $ cmp jobs1.out jobs4.out
   $ netrel estimate --dataset karate --terminals 0,33 -m mc -s 5000 --jobs 1 | grep "R =" > mc1.out
   $ netrel estimate --dataset karate --terminals 0,33 -m mc -s 5000 --jobs 4 | grep "R =" > mc4.out
@@ -80,7 +80,7 @@ Errors exit non-zero with a message:
   netrel: one of --terminals IDS or -k K is required
   [2]
   $ netrel estimate --dataset karate --terminals 0,99
-  netrel: Ugraph.validate_terminals: vertex 99 out of range
+  netrel: --terminals: vertex 99 outside [0,34)
   [2]
   $ netrel estimate --dataset karate --terminals 0,33 --method brute
   graph Karate: |V|=34 |E|=78 avg_deg=4.59 avg_prob=0.534

@@ -15,7 +15,7 @@ on phase transitions (stderr is not a TTY here, so one line per frame):
   progress: preprocess
   progress: construction layer 1 width 2
   progress: sampling
-  progress: done est 0.999198 +/-0.443181 samples 2648
+  progress: done est 0.998333 +/-0.410699 samples 2402
 
 --verbose is an alias for --progress:
 
@@ -24,7 +24,7 @@ on phase transitions (stderr is not a TTY here, so one line per frame):
   progress: preprocess
   progress: construction layer 1 width 2
   progress: sampling
-  progress: done est 0.999198 +/-0.443181 samples 2648
+  progress: done est 0.998333 +/-0.410699 samples 2402
 
 The Chrome trace-event document: process/thread metadata first, then
 the event stream. At --jobs 1 every task lands on lane 0 (tid 0); the
@@ -57,9 +57,9 @@ dispatches, and the final estimate instant:
   1 "name": "construction"
   1 "name": "control"
   1 "name": "decompose"
-  733 "name": "descent"
+  607 "name": "descent"
   1 "name": "estimate"
-  41 "name": "layer"
+  43 "name": "layer"
   1 "name": "netrel"
   2 "name": "par.batch"
   1 "name": "preprocess"
@@ -68,7 +68,7 @@ dispatches, and the final estimate instant:
   1 "name": "subproblem"
   2 "name": "thread_name"
   1 "name": "transform"
-  41 "name": "width"
+  43 "name": "width"
 
 Layer spans carry the frontier width and the running exact bounds:
 
@@ -91,7 +91,7 @@ the event stream or the export format shows up here):
   $ grep '"dropped"' trace.json | sed 's/^ *//'
   "dropped": 0
   $ md5sum trace.json | cut -d' ' -f1
-  819d959828627d73eb507d9cf209433b
+  b68d40dcf3f7a21076616b1ba66f97a0
 
 The JSONL format: a header line, then one object per event:
 
@@ -102,7 +102,7 @@ The JSONL format: a header line, then one object per event:
   {"netrel":"trace","schema":1,"dropped":0}
   {"name":"prune","ph":"X","pid":0,"tid":0,"ts":0.0,"dur":0.0}
   $ wc -l < trace.jsonl
-  825
+  703
 
 A trace is finalized even on an error exit, so partial traces are
 still valid JSON: an invalid sampling budget kills the run after

@@ -96,6 +96,26 @@ let t_transform_nonterminal_closed_cycle () =
   check_close ~eps:1e-12 "R preserved" direct
     (BF.reliability tr.T.graph ~terminals:tr.T.terminals)
 
+let t_transform_parallel_merge_order () =
+  (* Regression: the stage-2 parallel-edge merge used to emit merged
+     edges in Hashtbl bucket order, which depends on the key hash. The
+     contract is first-occurrence order of the (normalized) endpoint
+     pair in the input edge list. All vertices are terminals so no
+     other rewrite reorders anything. *)
+  let g =
+    graph ~n:4 [ (2, 3, 0.5); (0, 1, 0.4); (3, 2, 0.5); (1, 0, 0.4); (1, 2, 0.3) ]
+  in
+  let tr = T.run g ~terminals:[ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "three merged edges" 3 (Ugraph.n_edges tr.T.graph);
+  let pairs =
+    List.init 3 (fun i ->
+        let e = Ugraph.edge tr.T.graph i in
+        (e.Ugraph.u, e.Ugraph.v))
+  in
+  Alcotest.(check (list (pair int int)))
+    "first-occurrence order" [ (2, 3); (0, 1); (1, 2) ] pairs;
+  check_close "merged p" (1. -. (0.5 *. 0.5)) (Ugraph.edge tr.T.graph 0).Ugraph.p
+
 let t_transform_idempotent () =
   let g = two_triangles 0.5 in
   let tr = T.run g ~terminals:[ 0; 4 ] in
@@ -146,6 +166,35 @@ let t_pipeline_path_fully_decomposes () =
   | P.Reduced { pb; subproblems; _ } ->
     Alcotest.(check int) "no subproblems" 0 (List.length subproblems);
     check_close "pb = p^3" (0.8 ** 3.) (Xprob.to_float_exn pb)
+
+let t_pipeline_subproblem_order () =
+  (* Regression: decompose used to list subproblems in Hashtbl bucket
+     order of their component roots. The contract is ascending minimum
+     original vertex id. Triangle {0,1,2} (p = 0.3) and 4-cycle
+     {3,4,5,6} (p = 0.9) hang off the bridge 2-3; the triangle's
+     component holds vertex 0 so it must come first, recognizable after
+     transformation by its merged edge probability. *)
+  let g =
+    graph ~n:7
+      [ (0, 1, 0.3); (1, 2, 0.3); (2, 0, 0.3); (2, 3, 0.8);
+        (3, 4, 0.9); (4, 5, 0.9); (5, 6, 0.9); (6, 3, 0.9) ]
+  in
+  match P.run g ~terminals:[ 0; 1; 3; 5 ] with
+  | P.Trivial _ -> Alcotest.fail "expected reduction"
+  | P.Reduced { subproblems; _ } ->
+    Alcotest.(check int) "two subproblems" 2 (List.length subproblems);
+    (match subproblems with
+    | [ tri; cyc ] ->
+      (* The triangle survives the transform untouched (vertex 2 has
+         degree 3 before the bridge splits off); the cycle's two
+         degree-2 corners contract into one merged edge. *)
+      Alcotest.(check int) "triangle first" 3 (Ugraph.n_edges tri.P.graph);
+      check_close "triangle p" 0.3 (Ugraph.edge tri.P.graph 0).Ugraph.p;
+      Alcotest.(check int) "cycle second" 1 (Ugraph.n_edges cyc.P.graph);
+      check_close "cycle merged p"
+        (1. -. ((1. -. (0.9 *. 0.9)) ** 2.))
+        (Ugraph.edge cyc.P.graph 0).Ugraph.p
+    | _ -> assert false)
 
 let t_pipeline_preserves_reliability_known () =
   List.iter
@@ -274,9 +323,11 @@ let suite =
       Alcotest.test_case "transform: keeps degree-2 terminal" `Quick t_transform_keeps_terminal_degree2;
       Alcotest.test_case "transform: parallel stub" `Quick t_transform_parallel_stub;
       Alcotest.test_case "transform: non-terminal closed cycle" `Quick t_transform_nonterminal_closed_cycle;
+      Alcotest.test_case "transform: parallel merge order" `Quick t_transform_parallel_merge_order;
       Alcotest.test_case "transform: idempotent" `Quick t_transform_idempotent;
       Alcotest.test_case "pipeline: two triangles" `Quick t_pipeline_two_triangles;
       Alcotest.test_case "pipeline: trivial cases" `Quick t_pipeline_trivial_cases;
+      Alcotest.test_case "pipeline: subproblem order" `Quick t_pipeline_subproblem_order;
       Alcotest.test_case "pipeline: path decomposes fully" `Quick t_pipeline_path_fully_decomposes;
       Alcotest.test_case "pipeline preserves R (known)" `Quick t_pipeline_preserves_reliability_known;
     ]

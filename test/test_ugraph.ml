@@ -115,12 +115,40 @@ let t_io_comments_blanks () =
   Alcotest.(check int) "vertices" 3 (Ugraph.n_vertices g);
   Alcotest.(check int) "edges" 2 (Ugraph.n_edges g)
 
+(* SNAP/KONECT exports separate fields with tabs; DOS files carry a
+   trailing CR. Both must parse identically to the space form. *)
+let t_io_tabs () =
+  let g = Ugraph.of_string "3\n0\t1\t0.25\n1 \t 2  0.75\r\n" in
+  Alcotest.(check int) "vertices" 3 (Ugraph.n_vertices g);
+  Alcotest.(check int) "edges" 2 (Ugraph.n_edges g);
+  check_close "p0" 0.25 (Ugraph.edge g 0).Ugraph.p;
+  check_close "p1" 0.75 (Ugraph.edge g 1).Ugraph.p
+
 let t_io_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Ugraph.of_channel: empty input")
     (fun () -> ignore (Ugraph.of_string "# only comments\n"));
   Alcotest.check_raises "bad edge"
-    (Invalid_argument "Ugraph.of_channel: bad edge line: 0 1") (fun () ->
-      ignore (Ugraph.of_string "2\n0 1\n"))
+    (Invalid_argument
+       "Ugraph.of_channel: expected three fields `u v p` in edge line \"0 1\"")
+    (fun () -> ignore (Ugraph.of_string "2\n0 1\n"));
+  Alcotest.check_raises "out-of-range vertex"
+    (Invalid_argument
+       "Ugraph.of_channel: vertex id 7 outside [0,2) in edge line \"0 7 0.5\"")
+    (fun () -> ignore (Ugraph.of_string "2\n0 7 0.5\n"));
+  Alcotest.check_raises "negative vertex"
+    (Invalid_argument
+       "Ugraph.of_channel: vertex id -1 outside [0,2) in edge line \"-1 1 0.5\"")
+    (fun () -> ignore (Ugraph.of_string "2\n-1 1 0.5\n"));
+  Alcotest.check_raises "probability above 1"
+    (Invalid_argument
+       "Ugraph.of_channel: probability 1.5 outside [0,1] in edge line \
+        \"0 1 1.5\"")
+    (fun () -> ignore (Ugraph.of_string "2\n0 1 1.5\n"));
+  Alcotest.check_raises "unreadable probability"
+    (Invalid_argument
+       "Ugraph.of_channel: unreadable probability \"high\" in edge line \
+        \"0 1 high\"")
+    (fun () -> ignore (Ugraph.of_string "2\n0 1 high\n"))
 
 let t_file_roundtrip () =
   let g = two_triangles 0.42 in
@@ -189,6 +217,7 @@ let suite =
       Alcotest.test_case "terminal validation" `Quick t_terminal_validation;
       Alcotest.test_case "io roundtrip" `Quick t_io_roundtrip;
       Alcotest.test_case "io comments/blanks" `Quick t_io_comments_blanks;
+      Alcotest.test_case "io tabs/cr" `Quick t_io_tabs;
       Alcotest.test_case "io errors" `Quick t_io_errors;
       Alcotest.test_case "file roundtrip" `Quick t_file_roundtrip;
     ]
