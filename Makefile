@@ -1,4 +1,4 @@
-.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive bench-batch bench-all clean
+.PHONY: build test selfcheck bench bench-quick bench-smoke bench-kernels bench-bitsliced bench-adaptive bench-batch bench-large bench-all clean
 
 build:
 	dune build
@@ -70,7 +70,19 @@ bench-batch:
 	dune exec bench/main.exe -- --force --only batch --quick --json \
 	  $(if $(BENCH_TRACE),--trace)
 
-# Regenerate every tracked BENCH_*.json in one pass: the six
+# Large-graph scale-out trajectory: ~10^5-edge (quick) synthetic
+# graphs round-tripped through the mmap-able binary container and
+# sampled straight from the packed arrays through both kernels, with
+# per-kernel binary-vs-text bit-identity asserted, emitting the
+# self-validated BENCH_large.json at the repo root — the tracked
+# large-graph artifact (load-mmap run.seconds = mmap open + CSR build;
+# mc-{flat,bitsliced} sampling.kernel.samples_per_sec = throughput).
+# Also runs under `dune runtest`. Drop --quick for the 10^6-edge pass.
+bench-large:
+	dune exec bench/main.exe -- --force --only large --quick --json \
+	  $(if $(BENCH_TRACE),--trace)
+
+# Regenerate every tracked BENCH_*.json in one pass: the seven
 # JSON-emitting sections in quick mode, 3 repeats per (dataset, method)
 # pair so `netrel benchdiff` gets real median/MAD noise bands, --force
 # because the committed baselines already sit at the repo root. Run
@@ -78,7 +90,7 @@ bench-batch:
 # `netrel benchdiff OLD.json NEW.json` gates the comparison.
 bench-all:
 	dune exec bench/main.exe -- --force --repeats 3 --json \
-	  --only table5,parallel,kernels,bitsliced,adaptive,batch --quick \
+	  --only table5,parallel,kernels,bitsliced,adaptive,batch,large --quick \
 	  $(if $(BENCH_TRACE),--trace)
 
 clean:

@@ -24,7 +24,7 @@ let () =
       ("--only", Arg.Set_string only,
        "SECTIONS comma-separated subset (table2,fig3,fig4,fig5,table3,table4,\
         table5,ablation_ordering,ablation_lemmas,ablation_heuristic,\
-        ablation_exact,parallel,kernels,bitsliced,adaptive)");
+        ablation_exact,parallel,kernels,bitsliced,adaptive,batch,large)");
       ("--quick", Arg.Set quick, " reduced repetitions and budgets");
       ("--scale", Arg.Set_float scale, "FLOAT dataset scale factor (default 1.0)");
       ("--seed", Arg.Set_int seed, "INT master seed (default 1)");

@@ -27,16 +27,29 @@ let dataset_by_name name ~seed ~scale =
 
 let dataset_names = "karate, am-rv, dblp1, dblp2, tokyo, nyc, hit-d"
 
-let load_graph ~file ~dataset ~seed ~scale =
+(* [--graph FILE] sniffs the 8-byte Bingraph magic, so binary
+   containers work everywhere a text edge list does. For binary files
+   the header digest rides along (third component) — the engine
+   commands pass it to [Engine.query] and skip the O(m) re-hash. *)
+let load_graph_full ~file ~dataset ~seed ~scale =
   match (file, dataset) with
-  | Some path, None -> Ok (Ugraph.of_file path, Filename.basename path)
+  | Some path, None ->
+    if Bingraph.is_binary_file path then begin
+      let bg = Bingraph.load path in
+      Bingraph.validate bg;
+      Ok (Bingraph.to_graph bg, Filename.basename path, Some (Bingraph.digest bg))
+    end
+    else Ok (Ugraph.of_file path, Filename.basename path, None)
   | None, Some name -> (
     match dataset_by_name name ~seed ~scale with
-    | Some d -> Ok (d.D.graph, d.D.abbr)
+    | Some d -> Ok (d.D.graph, d.D.abbr, None)
     | None ->
       Error (Printf.sprintf "unknown dataset %S (known: %s)" name dataset_names))
   | Some _, Some _ -> Error "--graph and --dataset are mutually exclusive"
   | None, None -> Error "one of --graph FILE or --dataset NAME is required"
+
+let load_graph ~file ~dataset ~seed ~scale =
+  Result.map (fun (g, name, _) -> (g, name)) (load_graph_full ~file ~dataset ~seed ~scale)
 
 (* ---- shared options ---- *)
 
@@ -525,6 +538,95 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc)
     Term.(const run $ dataset_req $ seed_arg $ scale_arg $ out)
 
+(* ---- convert ---- *)
+
+let convert_cmd =
+  let input_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"INPUT"
+             ~doc:"Input graph: text edge list, SNAP/KONECT edge list, \
+                   or binary container.")
+  in
+  let output_pos =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OUTPUT"
+             ~doc:"Output file; a $(b,.nrb) extension selects binary \
+                   unless $(b,--to) says otherwise.")
+  in
+  let from_arg =
+    let doc = "Input format: $(b,auto) (sniffed), $(b,text), $(b,snap), \
+               or $(b,bin)." in
+    Arg.(value
+         & opt (enum [ ("auto", `Auto); ("text", `Text); ("snap", `Snap);
+                       ("bin", `Bin) ]) `Auto
+         & info [ "from" ] ~docv:"FMT" ~doc)
+  in
+  let to_arg =
+    let doc = "Output format: $(b,auto) (by extension), $(b,text), or \
+               $(b,bin)." in
+    Arg.(value
+         & opt (enum [ ("auto", `Auto); ("text", `Text); ("bin", `Bin) ]) `Auto
+         & info [ "to" ] ~docv:"FMT" ~doc)
+  in
+  let prob_arg =
+    let doc = "Default probability for SNAP/KONECT edges without a \
+               probability column." in
+    Arg.(value & opt float 0.5 & info [ "prob" ] ~docv:"P" ~doc)
+  in
+  (* Our text format opens with a vertex-count line (one integer token,
+     comments aside); SNAP rows always carry at least two fields. *)
+  let sniff_text path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec first_data () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            let t = String.trim line in
+            if t = "" || t.[0] = '#' || t.[0] = '%' then first_data ()
+            else Some t
+        in
+        match first_data () with
+        | None -> `Text
+        | Some t ->
+          if String.exists (fun c -> c = ' ' || c = '\t') t then `Snap
+          else `Text)
+  in
+  let run from_fmt to_fmt prob input output = guarded @@ fun () ->
+    let from_fmt =
+      match from_fmt with
+      | `Auto -> if Bingraph.is_binary_file input then `Bin else sniff_text input
+      | (`Text | `Snap | `Bin) as f -> f
+    in
+    let bg =
+      match from_fmt with
+      | `Bin ->
+        let bg = Bingraph.load input in
+        Bingraph.validate bg;
+        bg
+      | `Text -> Bingraph.of_graph (Ugraph.of_file input)
+      | `Snap -> Bingraph.Snap.of_file ~default_prob:prob input
+    in
+    let to_fmt =
+      match to_fmt with
+      | `Auto -> if Filename.check_suffix output ".nrb" then `Bin else `Text
+      | (`Text | `Bin) as f -> f
+    in
+    (match to_fmt with
+    | `Bin -> Bingraph.to_file output bg
+    | `Text -> Ugraph.to_file output (Bingraph.to_graph bg));
+    Printf.printf "wrote %s (%s, %d vertices, %d edges, digest %016x)\n"
+      output
+      (match to_fmt with `Bin -> "binary" | `Text -> "text")
+      (Bingraph.n_vertices bg) (Bingraph.n_edges bg) (Bingraph.digest bg)
+  in
+  let doc = "Convert between text, SNAP/KONECT, and binary (mmap-able) \
+             graph formats" in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ from_arg $ to_arg $ prob_arg $ input_pos $ output_pos)
+
 (* ---- bounds ---- *)
 
 let bounds_cmd =
@@ -793,7 +895,7 @@ let batch_cmd =
   let run file dataset seed scale jobs kernel samples width qfile =
     guarded @@ fun () ->
     check_jobs jobs;
-    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let g, name, digest = or_die (load_graph_full ~file ~dataset ~seed ~scale) in
     let obs = Obs.create () in
     let eng = Engine.create ~obs () in
     let defaults =
@@ -817,7 +919,7 @@ let batch_cmd =
         if t <> "" && t.[0] <> '#' then begin
           let q = or_die (parse_query_line g ~defaults line) in
           let t0 = Obs.now obs in
-          let a = Engine.query eng g q in
+          let a = Engine.query ?digest eng g q in
           let seconds = Obs.now obs -. t0 in
           print_endline
             (Obs.Json.to_string ~pretty:true
@@ -840,7 +942,7 @@ let serve_cmd =
   let run file dataset seed scale jobs kernel samples width =
     guarded @@ fun () ->
     check_jobs jobs;
-    let g, name = or_die (load_graph ~file ~dataset ~seed ~scale) in
+    let g, name, digest = or_die (load_graph_full ~file ~dataset ~seed ~scale) in
     let obs = Obs.create () in
     let eng = Engine.create ~obs () in
     let defaults =
@@ -867,7 +969,7 @@ let serve_cmd =
           | Ok q -> (
             match
               let t0 = Obs.now obs in
-              let a = Engine.query eng g q in
+              let a = Engine.query ?digest eng g q in
               (a, Obs.now obs -. t0)
             with
             | a, seconds ->
@@ -953,6 +1055,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; bounds_cmd;
-            search_cmd; reach_cmd; selfcheck_cmd; batch_cmd; serve_cmd;
-            benchdiff_cmd ]))
+          [ estimate_cmd; stats_cmd; preprocess_cmd; gen_cmd; convert_cmd;
+            bounds_cmd; search_cmd; reach_cmd; selfcheck_cmd; batch_cmd;
+            serve_cmd; benchdiff_cmd ]))

@@ -1,0 +1,372 @@
+(* Binary uncertain-graph container: packed int32/float64 edge arrays
+   behind a fixed little-endian header, mmap-able in O(1). See the .mli
+   for the on-disk layout. *)
+
+type int32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float64_arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  m : int;
+  eu : int32_arr;
+  ev : int32_arr;
+  ep : float64_arr;
+  digest : int;
+}
+
+let magic = "NRBG0001"
+let header_bytes = 40
+let order_tag = 0x0123456789ABCDEFL
+let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+
+let n_vertices t = t.n
+let n_edges t = t.m
+let digest t = t.digest
+
+let edge t i =
+  if i < 0 || i >= t.m then
+    invalid_arg (Printf.sprintf "Bingraph.edge: index %d outside [0,%d)" i t.m);
+  { Ugraph.u = Int32.to_int t.eu.{i}; v = Int32.to_int t.ev.{i}; p = t.ep.{i} }
+
+module Digest = struct
+  (* Must stay bit-compatible with the engine cache key: chained
+     splitmix64 over vertex count then exact (u, v, p) bit patterns in
+     edge order ([Engine.digest] delegates here). *)
+  let fold acc w = Hash64.mix64 (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) w)
+
+  let of_graph g =
+    let acc = ref (Hash64.mix64 (Int64.of_int (Ugraph.n_vertices g))) in
+    Ugraph.iter_edges
+      (fun _ (e : Ugraph.edge) ->
+        acc := fold !acc (Int64.of_int e.Ugraph.u);
+        acc := fold !acc (Int64.of_int e.Ugraph.v);
+        acc := fold !acc (Int64.bits_of_float e.Ugraph.p))
+      g;
+    Int64.to_int (Int64.logand !acc mask62)
+
+  let of_packed ~n ~m (eu : int32_arr) (ev : int32_arr) (ep : float64_arr) =
+    let acc = ref (Hash64.mix64 (Int64.of_int n)) in
+    for i = 0 to m - 1 do
+      acc := fold !acc (Int64.of_int32 eu.{i});
+      acc := fold !acc (Int64.of_int32 ev.{i});
+      acc := fold !acc (Int64.bits_of_float ep.{i})
+    done;
+    Int64.to_int (Int64.logand !acc mask62)
+end
+
+let alloc_int32 m = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout m
+let alloc_float64 m = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout m
+
+let int32_max = 0x7FFF_FFFF
+
+let of_graph g =
+  let n = Ugraph.n_vertices g and m = Ugraph.n_edges g in
+  if n > int32_max then
+    invalid_arg (Printf.sprintf "Bingraph.of_graph: %d vertices exceed int32 range" n);
+  let eu = alloc_int32 m and ev = alloc_int32 m and ep = alloc_float64 m in
+  Ugraph.iter_edges
+    (fun i (e : Ugraph.edge) ->
+      eu.{i} <- Int32.of_int e.Ugraph.u;
+      ev.{i} <- Int32.of_int e.Ugraph.v;
+      ep.{i} <- e.Ugraph.p)
+    g;
+  { n; m; eu; ev; ep; digest = Digest.of_packed ~n ~m eu ev ep }
+
+let to_graph t =
+  Ugraph.create ~n:t.n (List.init t.m (edge t))
+
+let to_arrays t =
+  let eu = Array.init t.m (fun i -> Int32.to_int t.eu.{i}) in
+  let ev = Array.init t.m (fun i -> Int32.to_int t.ev.{i}) in
+  let ep = Array.init t.m (fun i -> t.ep.{i}) in
+  (eu, ev, ep)
+
+let validate t =
+  for i = 0 to t.m - 1 do
+    let u = Int32.to_int t.eu.{i} and v = Int32.to_int t.ev.{i} and p = t.ep.{i} in
+    if u < 0 || u >= t.n || v < 0 || v >= t.n then
+      invalid_arg
+        (Printf.sprintf "Bingraph.validate: edge %d endpoints (%d,%d) outside [0,%d)"
+           i u v t.n);
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg
+        (Printf.sprintf "Bingraph.validate: edge %d probability %g outside [0,1]" i p)
+  done
+
+(* --- byte codec ------------------------------------------------------ *)
+
+let file_bytes m = header_bytes + (16 * m)
+
+let write_header b ~n ~m ~digest =
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int64_le b 8 (Int64.of_int n);
+  Bytes.set_int64_le b 16 (Int64.of_int m);
+  Bytes.set_int64_le b 24 (Int64.of_int digest);
+  Bytes.set_int64_le b 32 order_tag
+
+let check_header ~what b ~total_len =
+  if Bytes.length b < header_bytes then
+    invalid_arg (Printf.sprintf "Bingraph.%s: truncated header (%d bytes)" what
+                   (Bytes.length b));
+  if Bytes.sub_string b 0 8 <> magic then
+    invalid_arg (Printf.sprintf "Bingraph.%s: bad magic (not a %s file)" what magic);
+  let n = Int64.to_int (Bytes.get_int64_le b 8) in
+  let m = Int64.to_int (Bytes.get_int64_le b 16) in
+  let digest = Int64.to_int (Bytes.get_int64_le b 24) in
+  if Bytes.get_int64_le b 32 <> order_tag then
+    invalid_arg
+      (Printf.sprintf "Bingraph.%s: byte-order tag mismatch (foreign-endian file?)"
+         what);
+  if n < 0 || m < 0 then
+    invalid_arg (Printf.sprintf "Bingraph.%s: negative counts n=%d m=%d" what n m);
+  if total_len <> file_bytes m then
+    invalid_arg
+      (Printf.sprintf
+         "Bingraph.%s: size mismatch: header declares %d edges (%d bytes) but \
+          input has %d bytes (truncated?)"
+         what m (file_bytes m) total_len);
+  (n, m, digest)
+
+let to_bytes t =
+  let b = Bytes.create (file_bytes t.m) in
+  write_header b ~n:t.n ~m:t.m ~digest:t.digest;
+  let off_eu = header_bytes and off_ev = header_bytes + (4 * t.m) in
+  let off_ep = header_bytes + (8 * t.m) in
+  for i = 0 to t.m - 1 do
+    Bytes.set_int32_le b (off_eu + (4 * i)) t.eu.{i};
+    Bytes.set_int32_le b (off_ev + (4 * i)) t.ev.{i};
+    Bytes.set_int64_le b (off_ep + (8 * i)) (Int64.bits_of_float t.ep.{i})
+  done;
+  b
+
+let of_bytes b =
+  let n, m, digest = check_header ~what:"of_bytes" b ~total_len:(Bytes.length b) in
+  let eu = alloc_int32 m and ev = alloc_int32 m and ep = alloc_float64 m in
+  let off_eu = header_bytes and off_ev = header_bytes + (4 * m) in
+  let off_ep = header_bytes + (8 * m) in
+  for i = 0 to m - 1 do
+    eu.{i} <- Bytes.get_int32_le b (off_eu + (4 * i));
+    ev.{i} <- Bytes.get_int32_le b (off_ev + (4 * i));
+    ep.{i} <- Int64.float_of_bits (Bytes.get_int64_le b (off_ep + (8 * i)))
+  done;
+  { n; m; eu; ev; ep; digest }
+
+let to_file path t =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_bytes oc (to_bytes t)
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  of_bytes b
+
+(* --- mmap load ------------------------------------------------------- *)
+
+let really_read fd b len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let k = Unix.read fd b !got (len - !got) in
+       if k = 0 then raise Exit;
+       got := !got + k
+     done
+   with Exit -> ());
+  !got
+
+let map1 (type a b) fd ~pos (kind : (a, b) Bigarray.kind) m :
+    (a, b, Bigarray.c_layout) Bigarray.Array1.t =
+  if m = 0 then Bigarray.Array1.create kind Bigarray.c_layout 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) kind Bigarray.c_layout false [| m |])
+
+let load path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let hdr = Bytes.create header_bytes in
+  let got = really_read fd hdr header_bytes in
+  if got < header_bytes then
+    invalid_arg (Printf.sprintf "Bingraph.load: %s: truncated header (%d bytes)"
+                   path got);
+  let total_len = (Unix.fstat fd).Unix.st_size in
+  let n, m, digest = check_header ~what:"load" hdr ~total_len in
+  let eu = map1 fd ~pos:header_bytes Bigarray.int32 m in
+  let ev = map1 fd ~pos:(header_bytes + (4 * m)) Bigarray.int32 m in
+  let ep = map1 fd ~pos:(header_bytes + (8 * m)) Bigarray.float64 m in
+  { n; m; eu; ev; ep; digest }
+
+let is_binary_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let b = Bytes.create 8 in
+    (match really_input ic b 0 8 with
+     | () -> Bytes.to_string b = magic
+     | exception End_of_file -> false)
+
+(* --- streaming SNAP / KONECT parser ---------------------------------- *)
+
+module Snap = struct
+  (* Growable packed edge store: plain arrays doubled on demand, so the
+     parse allocates O(log m) arrays total instead of per-line lists. *)
+  type store = {
+    mutable eu : int array;
+    mutable ev : int array;
+    mutable ep : float array;
+    mutable len : int;
+  }
+
+  let store () = { eu = Array.make 1024 0; ev = Array.make 1024 0;
+                   ep = Array.make 1024 0.; len = 0 }
+
+  let push s u v p =
+    if s.len = Array.length s.eu then begin
+      let grow a zero =
+        let b = Array.make (2 * Array.length a) zero in
+        Array.blit a 0 b 0 s.len; b
+      in
+      s.eu <- grow s.eu 0; s.ev <- grow s.ev 0; s.ep <- grow s.ep 0.
+    end;
+    s.eu.(s.len) <- u; s.ev.(s.len) <- v; s.ep.(s.len) <- p;
+    s.len <- s.len + 1
+
+  let bad ~line fmt =
+    Printf.ksprintf
+      (fun msg -> invalid_arg (Printf.sprintf "Bingraph.Snap: line %d: %s" line msg))
+      fmt
+
+  let is_ws c = c = ' ' || c = '\t' || c = '\r'
+
+  (* Parse one whitespace-separated token from the reusable line buffer
+     [buf] starting at [!pos]; returns the [(start, stop)] span or None
+     at end of line. *)
+  let next_token buf pos =
+    let len = Buffer.length buf in
+    while !pos < len && is_ws (Buffer.nth buf !pos) do incr pos done;
+    if !pos >= len then None
+    else begin
+      let start = !pos in
+      while !pos < len && not (is_ws (Buffer.nth buf !pos)) do incr pos done;
+      Some (start, !pos)
+    end
+
+  let token_int buf (start, stop) ~line ~what =
+    let v = ref 0 and ok = ref (stop > start) in
+    for i = start to stop - 1 do
+      match Buffer.nth buf i with
+      | '0' .. '9' as c -> v := (!v * 10) + (Char.code c - Char.code '0')
+      | _ -> ok := false
+    done;
+    if not !ok then
+      bad ~line "unreadable %s %S" what (Buffer.sub buf start (stop - start));
+    !v
+
+  let token_prob buf (start, stop) ~line =
+    let s = Buffer.sub buf start (stop - start) in
+    match float_of_string_opt s with
+    | None -> bad ~line "unreadable probability %S" s
+    | Some p ->
+      if not (p >= 0. && p <= 1.) then bad ~line "probability %g outside [0,1]" p;
+      p
+
+  let parse ?(default_prob = 0.5) ~next_line () =
+    if not (default_prob >= 0. && default_prob <= 1.) then
+      invalid_arg
+        (Printf.sprintf "Bingraph.Snap: default probability %g outside [0,1]"
+           default_prob);
+    let buf = Buffer.create 256 in
+    let ids : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let n = ref 0 in
+    let compact id =
+      match Hashtbl.find_opt ids id with
+      | Some c -> c
+      | None ->
+        let c = !n in
+        Hashtbl.add ids id c;
+        incr n;
+        c
+    in
+    let s = store () in
+    let line = ref 0 in
+    let rec go () =
+      if next_line buf then begin
+        incr line;
+        let pos = ref 0 in
+        (match next_token buf pos with
+         | None -> ()                        (* blank line *)
+         | Some (start, _) when
+             (match Buffer.nth buf start with '#' | '%' -> true | _ -> false) ->
+           ()                                (* comment / KONECT header *)
+         | Some t1 ->
+           let u = token_int buf t1 ~line:!line ~what:"vertex id" in
+           (match next_token buf pos with
+            | None -> bad ~line:!line "expected `u v [p]`, got one field"
+            | Some t2 ->
+              let v = token_int buf t2 ~line:!line ~what:"vertex id" in
+              let p =
+                match next_token buf pos with
+                | None -> default_prob
+                | Some t3 -> token_prob buf t3 ~line:!line
+                (* further columns (KONECT timestamps) are ignored *)
+              in
+              (* bind [compact u] first: argument positions evaluate
+                 right-to-left, which would flip first-appearance order *)
+              let cu = compact u in
+              let cv = compact v in
+              push s cu cv p));
+        go ()
+      end
+    in
+    go ();
+    if s.len = 0 then invalid_arg "Bingraph.Snap: no edges in input";
+    let m = s.len in
+    let eu = alloc_int32 m and ev = alloc_int32 m and ep = alloc_float64 m in
+    for i = 0 to m - 1 do
+      eu.{i} <- Int32.of_int s.eu.(i);
+      ev.{i} <- Int32.of_int s.ev.(i);
+      ep.{i} <- s.ep.(i)
+    done;
+    let n = !n in
+    { n; m; eu; ev; ep; digest = Digest.of_packed ~n ~m eu ev ep }
+
+  let channel_lines ic buf =
+    Buffer.clear buf;
+    let rec go got =
+      match input_char ic with
+      | '\n' -> true
+      | c -> Buffer.add_char buf c; go true
+      | exception End_of_file -> got
+    in
+    go false
+
+  let of_channel ?default_prob ic =
+    parse ?default_prob ~next_line:(fun buf -> channel_lines ic buf) ()
+
+  let of_file ?default_prob path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    of_channel ?default_prob ic
+
+  let of_string ?default_prob str =
+    let pos = ref 0 in
+    let next_line buf =
+      Buffer.clear buf;
+      if !pos >= String.length str then false
+      else begin
+        let stop =
+          match String.index_from_opt str !pos '\n' with
+          | Some i -> i
+          | None -> String.length str
+        in
+        Buffer.add_substring buf str !pos (stop - !pos);
+        pos := stop + 1;
+        true
+      end
+    in
+    parse ?default_prob ~next_line ()
+end

@@ -272,6 +272,30 @@ let oracle_case t trace ~jobs (c : Shapes.case) ~seed ~rex =
   kernel_vs_reference ~tag:"mc" mc_results Mcsampling.Reference.monte_carlo;
   kernel_vs_reference ~tag:"ht" ht_results
     Mcsampling.Reference.horvitz_thompson;
+  (* Binary-container round trip: serializing through lib/bingraph and
+     parsing the bytes back must preserve the graph bit for bit — the
+     header digest equals a recomputation over the round-tripped graph,
+     and MC estimates at every jobs level are bit-identical to the
+     text-path results above (same seed, same chunk layout). *)
+  let bg = Bingraph.of_bytes (Bingraph.to_bytes (Bingraph.of_graph g)) in
+  let g' = Bingraph.to_graph bg in
+  check t ~invariant:"bingraph.digest-stable" ~case ~artifact
+    (Bingraph.digest bg = Bingraph.Digest.of_graph g')
+    (fun () ->
+      Printf.sprintf "header digest %d vs recomputed %d" (Bingraph.digest bg)
+        (Bingraph.Digest.of_graph g'));
+  List.iter
+    (fun (j, (e : Mcsampling.estimate)) ->
+      let e' =
+        Mcsampling.monte_carlo ~seed ~jobs:j g' ~terminals
+          ~samples:oracle_samples
+      in
+      check t ~invariant:"bingraph.roundtrip-mc-identical" ~case ~artifact
+        (mc_projection e = mc_projection e')
+        (fun () ->
+          Printf.sprintf "jobs=%d binary value=%.17g vs text value=%.17g" j
+            e'.Mcsampling.value e.Mcsampling.value))
+    mc_results;
   let s2 ~width ~estimator =
     let config =
       {

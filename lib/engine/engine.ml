@@ -87,25 +87,27 @@ let obs t = t.obs
 
 (* ---- graph digest ---- *)
 
-let mask62 = 0x3FFF_FFFF_FFFF_FFFFL
+(* Chained splitmix64 over the graph content: vertex count, then the
+   exact (u, v, p) bit patterns in edge order. Edge order is part of
+   the identity on purpose — every downstream artifact (Csr layout,
+   orderings, seed consumption) depends on it. The fold itself lives in
+   Bingraph.Digest (one implementation for the engine key and the
+   binary-container header, which must stay bit-compatible). *)
+let digest = Bingraph.Digest.of_graph
 
-let digest g =
-  (* Chained splitmix64 over the graph content: vertex count, then the
-     exact (u, v, p) bit patterns in edge order. Edge order is part of
-     the identity on purpose — every downstream artifact (Csr layout,
-     orderings, seed consumption) depends on it. *)
-  let acc = ref (Hash64.mix64 (Int64.of_int (Ugraph.n_vertices g))) in
-  let fold w = acc := Hash64.mix64 (Int64.add (Int64.mul !acc 0x9E3779B97F4A7C15L) w) in
-  Ugraph.iter_edges
-    (fun _ (e : Ugraph.edge) ->
-      fold (Int64.of_int e.Ugraph.u);
-      fold (Int64.of_int e.Ugraph.v);
-      fold (Int64.bits_of_float e.Ugraph.p))
-    g;
-  Int64.to_int (Int64.logand !acc mask62)
-
-let context t g =
-  let d = digest g in
+(* [?digest] lets a caller that already knows the graph's content
+   digest (read from a binary-container header) skip the O(m) re-hash
+   on every query. Trusted like any other cache key: a wrong digest
+   aliases two graphs, so only header digests that were computed by
+   Bingraph over the same edge array belong here. *)
+let context ?digest:(d0 = None) t g =
+  let d =
+    match d0 with
+    | Some d ->
+      Obs.incr t.eo "digest_from_header";
+      d
+    | None -> digest g
+  in
   match Hashtbl.find_opt t.ctxs d with
   | Some ctx ->
     Obs.incr t.eo "graph.hit";
@@ -234,8 +236,8 @@ let dispatch t ctx qobs q =
     in
     ("sampling-ht", SD.result_of_estimate e, e.Mcsampling.value, false)
 
-let query t g q =
-  let ctx = context t g in
+let query ?digest t g q =
+  let ctx = context ~digest t g in
   Obs.incr t.eo "queries";
   let key = memo_key q in
   match Hashtbl.find_opt ctx.memo key with
@@ -258,8 +260,9 @@ let query t g q =
 
 let counter_names =
   [
-    "queries"; "graph.hit"; "graph.miss"; "csr.hit"; "csr.miss"; "prep.hit";
-    "prep.miss"; "result.hit"; "result.miss"; "artifact.hit"; "artifact.miss";
+    "queries"; "digest_from_header"; "graph.hit"; "graph.miss"; "csr.hit";
+    "csr.miss"; "prep.hit"; "prep.miss"; "result.hit"; "result.miss";
+    "artifact.hit"; "artifact.miss";
   ]
 
 let counters t =

@@ -90,14 +90,21 @@ val create : ?obs:Obs.t -> unit -> t
 val obs : t -> Obs.t
 
 val digest : Ugraph.t -> int
-(** Non-negative 62-bit content digest of a graph. *)
+(** Non-negative 62-bit content digest of a graph
+    ([Bingraph.Digest.of_graph] — the same fold the binary container
+    stores in its header). *)
 
-val query : t -> Ugraph.t -> query -> answer
+val query : ?digest:int -> t -> Ugraph.t -> query -> answer
 (** Serve one query, reusing every cached artifact for the graph. The
     estimate is bit-identical to the standalone from-scratch run at
     the same seed/jobs/kernel (the regression suite pins this at jobs
-    1/2/8). @raise Invalid_argument on invalid terminals, [jobs < 1],
-    or budgets the underlying estimator rejects. *)
+    1/2/8). [?digest] supplies the graph's content digest when the
+    caller already holds it (read from a [Bingraph] header), skipping
+    the O(m) re-hash per query — counted under
+    [engine.digest_from_header]. It is trusted as the cache key, so it
+    must be {!digest} of [g]. @raise Invalid_argument on invalid
+    terminals, [jobs < 1], or budgets the underlying estimator
+    rejects. *)
 
 val counters : t -> (string * int) list
 (** Snapshot of the cache counters (missing ones read 0), in a fixed

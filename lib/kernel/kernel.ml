@@ -62,6 +62,33 @@ module Csr = struct
 
   let of_graph g = of_order g ~order:(Array.init (Ugraph.n_edges g) Fun.id)
 
+  (* Packed-array constructor: the binary-graph fast path builds the
+     snapshot straight from Bingraph's edge arrays, no adjacency-list
+     Ugraph.t in between. Validation mirrors Ugraph.create so the
+     snapshot invariants hold regardless of where the arrays came
+     from. *)
+  let of_arrays ~n ~eu ~ev ~ep =
+    let m = Array.length eu in
+    if Array.length ev <> m || Array.length ep <> m then
+      invalid_arg "Kernel.Csr.of_arrays: eu/ev/ep length mismatch";
+    if n < 0 then invalid_arg "Kernel.Csr.of_arrays: negative vertex count";
+    for pos = 0 to m - 1 do
+      let u = eu.(pos) and v = ev.(pos) and p = ep.(pos) in
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Kernel.Csr.of_arrays: edge (%d,%d) outside vertex range [0,%d)"
+             u v n);
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg
+          (Printf.sprintf "Kernel.Csr.of_arrays: probability %g outside [0,1]" p)
+    done;
+    let eu = Array.copy eu and ev = Array.copy ev and ep = Array.copy ep in
+    let eu = if m = 0 then [| 0 |] else eu
+    and ev = if m = 0 then [| 0 |] else ev
+    and ep = if m = 0 then [| 0. |] else ep in
+    let off, adj_pos, adj_other = build_adjacency ~n ~m eu ev in
+    { n; m; eu; ev; ep; off; adj_pos; adj_other }
+
   let n_vertices t = t.n
   let n_edges t = t.m
 

@@ -58,6 +58,13 @@ module Csr : sig
   (** Snapshot in processing order: position [i] holds edge
       [order.(i)]. [order] need not cover every edge id. *)
 
+  val of_arrays : n:int -> eu:int array -> ev:int array -> ep:float array -> t
+  (** Snapshot straight from packed endpoint/probability arrays in
+      natural edge order (position [i] = edge [i]) — the binary-graph
+      fast path, no intermediate [Ugraph.t]. The arrays are copied;
+      endpoints and probabilities are validated as in [Ugraph.create].
+      Raises [Invalid_argument] on length mismatch or range errors. *)
+
   val n_vertices : t -> int
   val n_edges : t -> int
 

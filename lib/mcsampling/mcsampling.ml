@@ -17,6 +17,22 @@ type estimate = {
    seed draws (it does not change the estimator's distribution). *)
 let chunk_target = 4096
 
+(* Edge-count-aware chunk sizing for the large-graph regime: a chunk's
+   work is roughly [len * edges] bernoulli draws, so on a million-edge
+   graph 4096-sample chunks would leave a small budget as one or two
+   indivisible lumps and starve the other domains. The target shrinks
+   past [chunk_edge_threshold] edges so every chunk stays near a fixed
+   [threshold * chunk_target] edge-draw budget. Like [chunk_target],
+   this function is part of the determinism contract: it depends only
+   on the edge count, never on [--jobs], and every built-in dataset
+   (Hit-d is the largest at ~25k edges) sits below the threshold, so
+   their seeded estimates keep the historical 4096 layout. *)
+let chunk_edge_threshold = 32_768
+
+let chunk_target_for ~edges =
+  if edges <= chunk_edge_threshold then chunk_target
+  else max 64 (chunk_edge_threshold * chunk_target / edges)
+
 (* Which draw kernel the samplers run on. [Flat] is the scalar draw
    (one bernoulli per edge per sample, the pre-kernel stream —
    bit-identical to [Reference]); [Bitsliced] draws 62 worlds per pass
@@ -186,26 +202,33 @@ let mc_chunk_bitsliced ?depth csr term_arr rng len =
   done;
   !hits
 
-(* [?csr] lets a caller holding a prebuilt snapshot (the engine's
-   per-graph cache) skip reconstruction. The Csr is a pure function of
-   [g], so a cached snapshot cannot change any estimate. *)
-let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
-    ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
-  validate g ~terminals ~samples ~jobs;
-  let o = Obs.sub obs "sampling" in
-  Obs.text o "estimator" "mc";
-  Obs.text o "kernel.mode" (kernel_mode_name kernel);
-  if List.length terminals < 2 then begin
-    Obs.incr o "trivial";
-    emit_estimate trace (trivial_estimate ~jobs 1.)
-  end
-  else
+(* Terminal/budget validation against a Csr snapshot alone, for the
+   [_csr] entry points where no [Ugraph.t] ever exists. Mirrors
+   [Ugraph.validate_terminals] against the snapshot's vertex count. *)
+let validate_csr csr ~terminals ~samples ~jobs =
+  let n = Kernel.Csr.n_vertices csr in
+  if terminals = [] then invalid_arg "Mcsampling: empty terminal set";
+  let seen = Hashtbl.create (List.length terminals) in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then
+        invalid_arg (Printf.sprintf "Mcsampling: terminal %d out of range [0,%d)" t n);
+      if Hashtbl.mem seen t then
+        invalid_arg (Printf.sprintf "Mcsampling: duplicate terminal %d" t);
+      Hashtbl.add seen t ())
+    terminals;
+  if samples <= 0 then invalid_arg "Mcsampling: samples <= 0";
+  if jobs <= 0 then invalid_arg "Mcsampling: jobs <= 0"
+
+(* The non-trivial MC body, shared by the graph and csr-direct entry
+   points. The caller has validated terminals and budgets. *)
+let mc_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples =
     Obs.time o "total" @@ fun () ->
-    let csr =
-      match csr with Some c -> c | None -> Kernel.Csr.of_graph g
-    in
     let term_arr = Array.of_list terminals in
-    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let chunks =
+      Par.chunks ~total:samples
+        ~target:(chunk_target_for ~edges:(Kernel.Csr.n_edges csr))
+    in
     let rngs = chunk_streams ~seed (Array.length chunks) in
     let lanes = Par.effective_jobs jobs in
     let t_kernel = Obs.now obs in
@@ -259,6 +282,39 @@ let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
         chunk_samples = Array.map snd chunks;
       }
 
+(* [?csr] lets a caller holding a prebuilt snapshot (the engine's
+   per-graph cache) skip reconstruction. The Csr is a pure function of
+   [g], so a cached snapshot cannot change any estimate. *)
+let monte_carlo ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
+    ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
+  validate g ~terminals ~samples ~jobs;
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "mc";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    emit_estimate trace (trivial_estimate ~jobs 1.)
+  end
+  else
+    let csr = match csr with Some c -> c | None -> Kernel.Csr.of_graph g in
+    mc_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples
+
+(* Csr-direct entry point: sample a snapshot that never had a Ugraph.t
+   behind it (mmap'd binary graphs via Kernel.Csr.of_arrays). For a
+   snapshot built by Kernel.Csr.of_graph the result is bit-identical
+   to [monte_carlo] — same chunk layout, same streams. *)
+let monte_carlo_csr ?(obs = Obs.disabled) ?(trace = Trace.disabled) ?(seed = 1)
+    ?(jobs = 1) ?(kernel = Flat) csr ~terminals ~samples =
+  validate_csr csr ~terminals ~samples ~jobs;
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "mc";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    emit_estimate trace (trivial_estimate ~jobs 1.)
+  end
+  else mc_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples
+
 (* HT stage-1 bodies: dedup a chunk's draws into (hash -> entry) plus
    the first-occurrence order. Both kernels produce the same tuple
    shape, so stage 2 (the ordered merge) and the weighted fold are
@@ -309,23 +365,15 @@ let ht_chunk_bitsliced ?depth csr term_arr rng len =
   done;
   (seen, order, !n_order)
 
-let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
-    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
-  validate g ~terminals ~samples ~jobs;
-  let o = Obs.sub obs "sampling" in
-  Obs.text o "estimator" "ht";
-  Obs.text o "kernel.mode" (kernel_mode_name kernel);
-  if List.length terminals < 2 then begin
-    Obs.incr o "trivial";
-    emit_estimate trace (trivial_estimate ~jobs 1.)
-  end
-  else
+(* The non-trivial HT body, shared by the graph and csr-direct entry
+   points. The caller has validated terminals and budgets. *)
+let ht_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples =
     Obs.time o "total" @@ fun () ->
-    let csr =
-      match csr with Some c -> c | None -> Kernel.Csr.of_graph g
-    in
     let term_arr = Array.of_list terminals in
-    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let chunks =
+      Par.chunks ~total:samples
+        ~target:(chunk_target_for ~edges:(Kernel.Csr.n_edges csr))
+    in
     let rngs = chunk_streams ~seed (Array.length chunks) in
     let lanes = Par.effective_jobs jobs in
     (* Stage 1 (parallel): each chunk dedups its own draws. A chunk's
@@ -446,6 +494,33 @@ let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
         chunk_samples = Array.map snd chunks;
       }
 
+let horvitz_thompson ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) ?csr g ~terminals ~samples =
+  validate g ~terminals ~samples ~jobs;
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "ht";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    emit_estimate trace (trivial_estimate ~jobs 1.)
+  end
+  else
+    let csr = match csr with Some c -> c | None -> Kernel.Csr.of_graph g in
+    ht_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples
+
+(* Csr-direct HT twin of [monte_carlo_csr]. *)
+let horvitz_thompson_csr ?(obs = Obs.disabled) ?(trace = Trace.disabled)
+    ?(seed = 1) ?(jobs = 1) ?(kernel = Flat) csr ~terminals ~samples =
+  validate_csr csr ~terminals ~samples ~jobs;
+  let o = Obs.sub obs "sampling" in
+  Obs.text o "estimator" "ht";
+  Obs.text o "kernel.mode" (kernel_mode_name kernel);
+  if List.length terminals < 2 then begin
+    Obs.incr o "trivial";
+    emit_estimate trace (trivial_estimate ~jobs 1.)
+  end
+  else ht_sampled ~obs ~o ~trace ~seed ~jobs ~kernel csr ~terminals ~samples
+
 (* ------------------------------------------------------------------ *)
 (* Retained reference implementation                                   *)
 (* ------------------------------------------------------------------ *)
@@ -468,7 +543,7 @@ module Reference = struct
     else begin
       let m = Ugraph.n_edges g in
       let n = Ugraph.n_vertices g in
-      let chunks = Par.chunks ~total:samples ~target:chunk_target in
+      let chunks = Par.chunks ~total:samples ~target:(chunk_target_for ~edges:m) in
       let rngs = chunk_streams ~seed (Array.length chunks) in
       let present = Array.make m false in
       let dsu = Dsu.create n in
@@ -505,7 +580,7 @@ module Reference = struct
     else begin
       let m = Ugraph.n_edges g in
       let n = Ugraph.n_vertices g in
-      let chunks = Par.chunks ~total:samples ~target:chunk_target in
+      let chunks = Par.chunks ~total:samples ~target:(chunk_target_for ~edges:m) in
       let rngs = chunk_streams ~seed (Array.length chunks) in
       let present = Array.make m false in
       let dsu = Dsu.create n in
@@ -642,7 +717,10 @@ module Chunked = struct
      sampler, just resumable. *)
   let mc_draw t ~samples =
     if samples <= 0 then invalid_arg "Mcsampling.Chunked.mc_draw: samples <= 0";
-    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let chunks =
+      Par.chunks ~total:samples
+        ~target:(chunk_target_for ~edges:(Kernel.Csr.n_edges t.mc_csr))
+    in
     let n = Array.length chunks in
     let rngs = Array.init n (fun _ -> Prng.split t.mc_master) in
     let lanes = Par.effective_jobs t.mc_jobs in
@@ -755,7 +833,10 @@ module Chunked = struct
 
   let ht_draw t ~samples =
     if samples <= 0 then invalid_arg "Mcsampling.Chunked.ht_draw: samples <= 0";
-    let chunks = Par.chunks ~total:samples ~target:chunk_target in
+    let chunks =
+      Par.chunks ~total:samples
+        ~target:(chunk_target_for ~edges:(Kernel.Csr.n_edges t.ht_csr))
+    in
     let n = Array.length chunks in
     let rngs = Array.init n (fun _ -> Prng.split t.ht_master) in
     let lanes = Par.effective_jobs t.ht_jobs in

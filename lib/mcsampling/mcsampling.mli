@@ -95,6 +95,16 @@ val chunk_target : int
     indices and draws from the [i]-th split stream. The adaptive driver
     sizes its rounds in these units. *)
 
+val chunk_target_for : edges:int -> int
+(** The chunk size every sampler actually uses, as a pure function of
+    the graph's edge count: {!chunk_target} up to 32768 edges (every
+    built-in dataset — their seeded estimates keep the historical
+    layout), then shrinking as [32768 * chunk_target / edges] (floored
+    at 64) so a chunk's bernoulli-draw budget stays roughly constant
+    and a small sample budget on a million-edge graph still splits
+    across domains. Part of the determinism contract: depends only on
+    [edges], never on [--jobs]. *)
+
 val interval :
   ?z:float -> ?method_:Relstats.interval_method -> estimate -> float * float
 (** [(lower, upper)] confidence interval for an estimate, default the
@@ -163,6 +173,23 @@ val horvitz_thompson :
     twice (same result) but counted once.
 
     @raise Invalid_argument as for {!monte_carlo}. *)
+
+val monte_carlo_csr :
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+  ?kernel:kernel_mode -> Kernel.Csr.t ->
+  terminals:int list -> samples:int -> estimate
+(** {!monte_carlo} on a bare snapshot — the binary-graph fast path,
+    where the Csr came from [Kernel.Csr.of_arrays] and no [Ugraph.t]
+    ever existed. Terminals are validated against the snapshot's
+    vertex count. For a snapshot built by [Kernel.Csr.of_graph g] the
+    result is bit-identical to [monte_carlo g] (same chunk layout,
+    same streams). *)
+
+val horvitz_thompson_csr :
+  ?obs:Obs.t -> ?trace:Trace.t -> ?seed:int -> ?jobs:int ->
+  ?kernel:kernel_mode -> Kernel.Csr.t ->
+  terminals:int list -> samples:int -> estimate
+(** {!horvitz_thompson} on a bare snapshot; see {!monte_carlo_csr}. *)
 
 (** The pre-kernel sampling paths, retained verbatim as the
     differential oracle for the flat kernels: boxed-edge iteration into

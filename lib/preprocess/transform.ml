@@ -25,7 +25,12 @@ let round n is_terminal edges =
   in
   (* Stage 2: merge parallel edges; a single edge survives per vertex
      pair with failure probabilities multiplied. *)
-  let pair_fail = Hashtbl.create (List.length edges) in
+  (* Keys are the packed vertex pair [min * 2^31 + max] — an immediate
+     int, so lookups hash a machine word instead of walking a boxed
+     tuple through the polymorphic hash (measurable at 10^6 edges;
+     vertex ids fit 31 bits long before anything else here does). *)
+  let pair_fail : (int, float) Hashtbl.t = Hashtbl.create (List.length edges) in
+  let pack u v = if u < v then (u lsl 31) lor v else (v lsl 31) lor u in
   (* [order] keeps first-occurrence key order: rebuilding the surviving
      edges from a [Hashtbl.fold] would emit them in hash-bucket order,
      making downstream edge orderings (and any digest over them) depend
@@ -33,7 +38,7 @@ let round n is_terminal edges =
   let order = ref [] in
   List.iter
     (fun (u, v, p) ->
-      let key = if u < v then (u, v) else (v, u) in
+      let key = pack u v in
       match Hashtbl.find_opt pair_fail key with
       | None ->
         order := key :: !order;
@@ -44,7 +49,7 @@ let round n is_terminal edges =
     edges;
   let edges =
     List.rev_map
-      (fun (u, v) -> (u, v, 1. -. Hashtbl.find pair_fail (u, v)))
+      (fun key -> (key lsr 31, key land 0x7FFFFFFF, 1. -. Hashtbl.find pair_fail key))
       !order
   in
   (* Stage 3: contract chains through degree-2 non-terminal vertices. *)

@@ -161,63 +161,128 @@ let to_file path g =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc g)
 
-let parse_lines lines =
-  let data =
-    List.filter
-      (fun line ->
-        let line = String.trim line in
-        line <> "" && line.[0] <> '#')
-      lines
-  in
-  match data with
-  | [] -> invalid_arg "Ugraph.of_channel: empty input"
-  | header :: rest ->
-    let n =
-      try int_of_string (String.trim header)
-      with Failure _ -> invalid_arg "Ugraph.of_channel: bad vertex count line"
-    in
-    (* SNAP/KONECT exports are tab-separated; accept any run of blanks
-       (and a stray CR from DOS line endings) between fields. *)
-    let fields line =
-      String.map (function '\t' | '\r' -> ' ' | c -> c) line
-      |> String.split_on_char ' '
-      |> List.filter (fun s -> s <> "")
-    in
-    let parse_edge line =
-      let bad why =
-        invalid_arg
-          (Printf.sprintf "Ugraph.of_channel: %s in edge line %S" why
-             (String.trim line))
-      in
-      match fields line with
-      | [ us; vs; ps ] ->
-        let vertex s =
-          match int_of_string_opt s with
-          | Some x when x >= 0 && x < n -> x
-          | Some x -> bad (Printf.sprintf "vertex id %d outside [0,%d)" x n)
-          | None -> bad (Printf.sprintf "unreadable vertex id %S" s)
-        in
-        let u = vertex us and v = vertex vs in
-        let p =
-          match float_of_string_opt ps with
-          | Some p when (not (Float.is_nan p)) && p >= 0. && p <= 1. -> p
-          | Some p -> bad (Printf.sprintf "probability %g outside [0,1]" p)
-          | None -> bad (Printf.sprintf "unreadable probability %S" ps)
-        in
-        { u; v; p }
-      | _ -> bad "expected three fields `u v p`"
-    in
-    create ~n (List.map parse_edge rest)
+(* Streaming parser: lines are read one at a time into a reusable
+   buffer and fields are sliced out of it in place, so parsing a
+   million-edge file allocates three short token strings per edge
+   instead of the whole file as a line list plus a per-line field
+   list. SNAP/KONECT exports are tab-separated and DOS files carry a
+   trailing CR; both count as blanks between fields. The canonical
+   writer comment `# uncertain graph: n vertices, m edges` doubles as
+   a truncation guard: when the first line carries it, the edge count
+   at end of input must match the declared one. *)
 
-let of_string s = parse_lines (String.split_on_char '\n' s)
+let is_blank = function ' ' | '\t' | '\r' -> true | _ -> false
+
+(* [next_line buf] refills [buf] with the next raw line (newline
+   stripped) and returns false at end of input with nothing read. *)
+let parse_stream ~next_line =
+  let buf = Buffer.create 256 in
+  let declared_edges = ref (-1) in
+  let first_line = ref true in
+  let n = ref (-1) in (* vertex count; -1 = count line not seen yet *)
+  let edges = ref [] in
+  let m = ref 0 in
+  let token_from pos =
+    let len = Buffer.length buf in
+    let i = ref pos in
+    while !i < len && is_blank (Buffer.nth buf !i) do incr i done;
+    if !i >= len then None
+    else begin
+      let start = !i in
+      while !i < len && not (is_blank (Buffer.nth buf !i)) do incr i done;
+      Some (start, !i)
+    end
+  in
+  let sub (start, stop) = Buffer.sub buf start (stop - start) in
+  let bad why =
+    invalid_arg
+      (Printf.sprintf "Ugraph.of_channel: %s in edge line %S" why
+         (String.trim (Buffer.contents buf)))
+  in
+  let rec go () =
+    if next_line buf then begin
+      (match token_from 0 with
+       | None -> () (* blank line *)
+       | Some (start, _) when Buffer.nth buf start = '#' ->
+         if !first_line then
+           (* the writer's own header arms the truncation guard *)
+           (try
+              Scanf.sscanf (Buffer.contents buf)
+                " # uncertain graph: %d vertices, %d edges" (fun _ m ->
+                  declared_edges := m)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+       | Some t1 ->
+         if !n < 0 then begin
+           match token_from (snd t1), int_of_string_opt (sub t1) with
+           | None, Some count -> n := count
+           | _ -> invalid_arg "Ugraph.of_channel: bad vertex count line"
+         end
+         else begin
+           let t2 = token_from (snd t1) in
+           let t3 = Option.bind t2 (fun t -> token_from (snd t)) in
+           let t4 = Option.bind t3 (fun t -> token_from (snd t)) in
+           match (t2, t3, t4) with
+           | Some t2, Some t3, None ->
+             let vertex span =
+               let s = sub span in
+               match int_of_string_opt s with
+               | Some x when x >= 0 && x < !n -> x
+               | Some x -> bad (Printf.sprintf "vertex id %d outside [0,%d)" x !n)
+               | None -> bad (Printf.sprintf "unreadable vertex id %S" s)
+             in
+             let u = vertex t1 and v = vertex t2 in
+             let p =
+               let s = sub t3 in
+               match float_of_string_opt s with
+               | Some p when (not (Float.is_nan p)) && p >= 0. && p <= 1. -> p
+               | Some p -> bad (Printf.sprintf "probability %g outside [0,1]" p)
+               | None -> bad (Printf.sprintf "unreadable probability %S" s)
+             in
+             edges := { u; v; p } :: !edges;
+             incr m
+           | _ -> bad "expected three fields `u v p`"
+         end);
+      first_line := false;
+      go ()
+    end
+  in
+  go ();
+  if !n < 0 then invalid_arg "Ugraph.of_channel: empty input";
+  if !declared_edges >= 0 && !declared_edges <> !m then
+    invalid_arg
+      (Printf.sprintf
+         "Ugraph.of_channel: truncated input: header declares %d edges, got %d"
+         !declared_edges !m);
+  create ~n:!n (List.rev !edges)
 
 let of_channel ic =
-  let rec read acc =
-    match input_line ic with
-    | line -> read (line :: acc)
-    | exception End_of_file -> List.rev acc
-  in
-  parse_lines (read [])
+  parse_stream ~next_line:(fun buf ->
+      Buffer.clear buf;
+      let rec go got =
+        match input_char ic with
+        | '\n' -> true
+        | c ->
+          Buffer.add_char buf c;
+          go true
+        | exception End_of_file -> got
+      in
+      go false)
+
+let of_string s =
+  let pos = ref 0 in
+  parse_stream ~next_line:(fun buf ->
+      Buffer.clear buf;
+      if !pos > String.length s then false
+      else begin
+        let stop =
+          match String.index_from_opt s !pos '\n' with
+          | Some i -> i
+          | None -> String.length s
+        in
+        Buffer.add_substring buf s !pos (stop - !pos);
+        pos := stop + 1;
+        true
+      end)
 
 let of_file path =
   let ic = open_in path in

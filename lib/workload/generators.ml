@@ -151,6 +151,103 @@ let bipartite_affiliation ~seed ~people ~groups ~memberships =
   done;
   largest_component (Ugraph.create ~n !edges)
 
+(* --- large-graph generators (10^5..10^6 edges) --------------------- *)
+
+let random_geometric ~seed ~n ~radius =
+  if n < 2 then invalid_arg "Generators.random_geometric: n < 2";
+  if not (radius > 0. && radius <= 1.) then
+    invalid_arg "Generators.random_geometric: radius outside (0,1]";
+  let rng = Prng.create seed in
+  let xs = Array.init n (fun _ -> Prng.float rng) in
+  let ys = Array.init n (fun _ -> Prng.float rng) in
+  (* Grid-bucket the points at cell size [radius]: every neighbour
+     within range lives in the 3x3 cell block. Counting-sort layout
+     (counts, prefix sums, scatter) keeps the whole build array-based
+     and deterministic. *)
+  let cells = max 1 (int_of_float (1. /. radius)) in
+  let cell_of i =
+    let cx = min (cells - 1) (int_of_float (xs.(i) *. float_of_int cells)) in
+    let cy = min (cells - 1) (int_of_float (ys.(i) *. float_of_int cells)) in
+    (cx * cells) + cy
+  in
+  let ncell = cells * cells in
+  let count = Array.make (ncell + 1) 0 in
+  for i = 0 to n - 1 do
+    let c = cell_of i in
+    count.(c + 1) <- count.(c + 1) + 1
+  done;
+  for c = 1 to ncell do
+    count.(c) <- count.(c) + count.(c - 1)
+  done;
+  let members = Array.make n 0 in
+  let cursor = Array.sub count 0 ncell in
+  for i = 0 to n - 1 do
+    let c = cell_of i in
+    members.(cursor.(c)) <- i;
+    cursor.(c) <- cursor.(c) + 1
+  done;
+  let r2 = radius *. radius in
+  let edges = ref [] in
+  let consider i j =
+    (* only j > i, so each pair is emitted once *)
+    if j > i then begin
+      let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+      if (dx *. dx) +. (dy *. dy) <= r2 then
+        edges := { Ugraph.u = i; v = j; p = 0.5 } :: !edges
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = cell_of i in
+    let cx = c / cells and cy = c mod cells in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        let nx = cx + dx and ny = cy + dy in
+        if nx >= 0 && nx < cells && ny >= 0 && ny < cells then begin
+          let nc = (nx * cells) + ny in
+          for s = count.(nc) to count.(nc + 1) - 1 do
+            consider i members.(s)
+          done
+        end
+      done
+    done
+  done;
+  Ugraph.create ~n (List.rev !edges)
+
+let preferential_attachment_large ~seed ~n ~edges_per_vertex =
+  if n < 2 || edges_per_vertex < 1 then
+    invalid_arg "Generators.preferential_attachment_large: bad parameters";
+  let rng = Prng.create seed in
+  let n_endpoints = ref 2 in
+  let endpoint_arr = Array.make ((2 * n * edges_per_vertex) + 4) 0 in
+  endpoint_arr.(0) <- 0;
+  endpoint_arr.(1) <- 1;
+  (* Packed int pair keys: ids fit 31 bits well past 10^6 vertices, so
+     dedup hashes a machine word instead of a boxed tuple. Edges keep
+     first-occurrence (= generation) order — no final sort. *)
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create (n * edges_per_vertex) in
+  let edges = ref [ { Ugraph.u = 0; v = 1; p = 0.5 } ] in
+  Hashtbl.add seen 1 (* pack 0 1 *) ();
+  for v = 2 to n - 1 do
+    for _ = 1 to edges_per_vertex do
+      let target = endpoint_arr.(Prng.int rng !n_endpoints) in
+      if target <> v then begin
+        let key =
+          if v < target then (v lsl 31) lor target else (target lsl 31) lor v
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          edges := { Ugraph.u = v; v = target; p = 0.5 } :: !edges
+        end;
+        (* endpoint slots accrue per attachment draw, duplicate or not,
+           matching the classic repeated-endpoints degree bias *)
+        endpoint_arr.(!n_endpoints) <- v;
+        endpoint_arr.(!n_endpoints + 1) <- target;
+        n_endpoints := !n_endpoints + 2
+      end
+    done
+  done;
+  Ugraph.create ~n (List.rev !edges)
+
 let random_terminals ~seed g ~k =
   let n = Ugraph.n_vertices g in
   if k > n then invalid_arg "Generators.random_terminals: k exceeds vertices";

@@ -40,3 +40,30 @@ val random_terminals : seed:int -> Ugraph.t -> k:int -> int list
 (** [k] distinct uniformly random vertices (the paper's terminal
     selection). @raise Invalid_argument if [k] exceeds the vertex
     count. *)
+
+(** {2 Large-graph generators}
+
+    The 10^5–10^6-edge synthetic workloads behind the [large] bench
+    section. Both run in O(n + m) with int-keyed tables (no tuple
+    hashing, no global sort), stay deterministic in [seed], and emit
+    placeholder probabilities — assign with {!Probability.uniform} /
+    {!Probability.uniform_range}. *)
+
+val random_geometric : seed:int -> n:int -> radius:float -> Ugraph.t
+(** [n] points uniform in the unit square, an edge between every pair
+    within Euclidean distance [radius] (grid-bucketed neighbour
+    search, so generation is O(n + m)). Expected average degree is
+    [n * pi * radius^2]; pick
+    [radius = sqrt (deg / (pi * n))] to hit a target. Edges are
+    emitted in ascending order of the lower endpoint id. Isolated
+    vertices are kept. @raise Invalid_argument for [n < 2] or a
+    radius outside (0, 1]. *)
+
+val preferential_attachment_large :
+  seed:int -> n:int -> edges_per_vertex:int -> Ugraph.t
+(** Barabási–Albert-style growth like {!preferential_attachment}, but
+    built for the 10^6-edge regime: duplicate edges are skipped via a
+    packed int-pair table during generation (first-occurrence edge
+    order, no multiplicity counting, no final sort) and the graph is
+    returned without a largest-component pass. ~[n * edges_per_vertex]
+    edges. *)

@@ -34,6 +34,7 @@ miss once, preprocessing runs once per distinct terminal set, and 12 of
   $ sed -n '/"engine"/,$p' batch.out
     "engine": {
       "queries": 16,
+      "digest_from_header": 0,
       "graph.hit": 15,
       "graph.miss": 1,
       "csr.hit": 1,

@@ -6,10 +6,10 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
 
   $ netrel selfcheck --trials 3 --seed 1
   selfcheck: seed=1 trials=3 jobs=1,2,8
-    oracle       cases=18   checks=1008  violations=0   skipped=0
+    oracle       cases=18   checks=1080  violations=0   skipped=0
     metamorphic  cases=27   checks=135   violations=0   skipped=0
     calibration  cases=11   checks=14    violations=0   skipped=0
-  result: OK (56 cases, 1157 checks, 0 violations)
+  result: OK (56 cases, 1229 checks, 0 violations)
 
   $ netrel selfcheck --trials 3 --seed 1 --json
   {
@@ -31,7 +31,7 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
       {
         "name": "oracle",
         "cases": 18,
-        "checks": 1008,
+        "checks": 1080,
         "violations": 0,
         "skipped": 0
       },
@@ -53,7 +53,7 @@ carries no timing, so it is stable under NETREL_FAKE_CLOCK and without).
     "violations": [],
     "result": {
       "cases": 56,
-      "checks": 1157,
+      "checks": 1229,
       "violations": 0,
       "ok": true
     }

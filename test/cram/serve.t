@@ -30,4 +30,4 @@ query, two malformed lines, the cache summary, quit:
   {"netrel":{"emitter":"netrel","schema":2},"run":{"command":"serve","method":"sampling-mc","graph":"g.txt","terminals":[0,3],"seed":5,"jobs":1,"samples":1000,"width":10000,"seconds":0.0},"preprocess":{},"construction":{},"sampling":{"chunk":{"seconds":0.0,"count":1},"connectivity_checks":1000,"estimator":"mc","gc":{"compactions":0,"major_collections":0,"major_words":0,"minor_collections":0,"minor_words":0,"promoted_words":0,"top_heap_words":0.0},"hist":{"chunk_ns":{"count":1,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[[0,1]]},"early_exit_depth":{"count":1000,"max":3,"p50":3,"p90":3,"p99":3,"buckets":[[0,4],[1,99],[2,386],[3,511]]}},"hits":511,"kernel":{"elapsed":{"seconds":0.0,"count":1},"mode":"flat","samples":1000,"samples_per_sec":0.0},"samples":1000,"total":{"seconds":0.0,"count":1},"wald_variance":0.000249879},"adaptive":{},"par":{"batches":1,"tasks":1},"gc":{"compactions":0,"major_collections":0,"major_words":0,"minor_collections":0,"minor_words":0,"promoted_words":0,"top_heap_words":0.0},"result":{"value":0.511,"lower":0.4800343958421962,"upper":0.54188141238890331,"samples_used":1000,"hits":511,"distinct":0,"variance_estimate":0.000249879,"jobs_used":1,"chunks":1}}
   {"error":"--terminals: vertex 99 outside [0,4)"}
   {"error":"bad query token \"bogus\" (expected key=value)"}
-  {"engine":{"queries":3,"graph.hit":2,"graph.miss":1,"csr.hit":0,"csr.miss":1,"prep.hit":0,"prep.miss":1,"result.hit":1,"result.miss":2,"artifact.hit":0,"artifact.miss":0}}
+  {"engine":{"queries":3,"digest_from_header":0,"graph.hit":2,"graph.miss":1,"csr.hit":0,"csr.miss":1,"prep.hit":0,"prep.miss":1,"result.hit":1,"result.miss":2,"artifact.hit":0,"artifact.miss":0}}
